@@ -1,0 +1,305 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the Lucid paper's evaluation (§4) — one testing.B entry per artifact,
+// each a thin wrapper over internal/lab. Custom metrics carry the headline
+// numbers (hours, R², milliseconds) alongside the usual ns/op:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable4 -benchtime=1x
+//
+// End-to-end benches run the traces at a reduced scale (benchScale) so the
+// whole suite finishes in minutes; cmd/lucidbench runs the same experiments
+// at any scale up to the full Table 2 workloads.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lab"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchScale is the default trace scale for end-to-end benches.
+const benchScale = 0.08
+
+// BenchmarkFig2aPairSpeed regenerates the §2.3 colocation sweep and fit.
+func BenchmarkFig2aPairSpeed(b *testing.B) {
+	var at100 float64
+	for i := 0; i < b.N; i++ {
+		at100, _ = lab.Fig2a()
+	}
+	b.ReportMetric(at100, "speed@100%")
+}
+
+// BenchmarkFig2bAMP measures the AMP packing benefit.
+func BenchmarkFig2bAMP(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		vals, _ := lab.Fig2b()
+		gain = vals[64][1] - vals[64][0]
+	}
+	b.ReportMetric(gain, "amp-gain@64")
+}
+
+// BenchmarkFig3Packing reproduces the Figure 3 examples.
+func BenchmarkFig3Packing(b *testing.B) {
+	var rnSelf float64
+	for i := 0; i < b.N; i++ {
+		pairs, _ := lab.Fig3a()
+		for _, p := range pairs {
+			if p.Partner == "ResNet-18" {
+				rnSelf = p.SpeedRN
+			}
+		}
+		lab.Fig3b()
+	}
+	b.ReportMetric(rnSelf, "rn18-self-speed")
+}
+
+// BenchmarkFig5Binder scores the Indolent Packing decisions.
+func BenchmarkFig5Binder(b *testing.B) {
+	var interferenceFree float64
+	for i := 0; i < b.N; i++ {
+		st, _, err := lab.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		interferenceFree = st.PackableInterferFree * 100
+	}
+	b.ReportMetric(interferenceFree, "%interference-free")
+}
+
+// BenchmarkFig6Tree trains and renders the Packing Analyze Model.
+func BenchmarkFig6Tree(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		a, err := core.TrainPackingAnalyzer(workload.DefaultThresholds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = a.Accuracy() * 100
+	}
+	b.ReportMetric(acc, "%accuracy")
+}
+
+// BenchmarkFig7GAM produces the interpretability artifacts.
+func BenchmarkFig7GAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Fig7(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Fidelity runs the physical-vs-simulation validation.
+func BenchmarkTable3Fidelity(b *testing.B) {
+	var worstErr float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := lab.Table3(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstErr = 0
+		for _, r := range rows {
+			if r.JCTErrPct > worstErr {
+				worstErr = r.JCTErrPct
+			}
+			if r.MakespanErrPct > worstErr {
+				worstErr = r.MakespanErrPct
+			}
+		}
+	}
+	b.ReportMetric(worstErr, "%worst-error")
+}
+
+// benchTable4 shares one end-to-end sweep across the Table 4 family.
+func benchTable4(b *testing.B, specs []trace.GenSpec) map[string]map[string]*sim.Result {
+	b.Helper()
+	var results map[string]map[string]*sim.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, results, _, err = lab.Table4(specs, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return results
+}
+
+// BenchmarkTable4 regenerates the headline end-to-end table on all three
+// clusters.
+func BenchmarkTable4(b *testing.B) {
+	results := benchTable4(b, []trace.GenSpec{trace.Venus(), trace.Saturn(), trace.Philly()})
+	if venus, ok := results["Venus"]; ok {
+		b.ReportMetric(venus["Lucid"].AvgJCTHours(), "lucid-jct-h")
+		b.ReportMetric(venus["Tiresias"].AvgJCTHours(), "tiresias-jct-h")
+	}
+}
+
+// BenchmarkFig8CDF regenerates the JCT CDFs (Venus only for speed).
+func BenchmarkFig8CDF(b *testing.B) {
+	results := benchTable4(b, []trace.GenSpec{trace.Venus()})
+	if s := lab.Fig8(results); len(s) == 0 {
+		b.Fatal("empty CDF report")
+	}
+}
+
+// BenchmarkFig9VC regenerates the per-VC queueing analysis.
+func BenchmarkFig9VC(b *testing.B) {
+	results := benchTable4(b, []trace.GenSpec{trace.Venus()})
+	if s := lab.Fig9(results); len(s) == 0 {
+		b.Fatal("empty VC report")
+	}
+}
+
+// BenchmarkTable5Scale regenerates the large-vs-small breakdown.
+func BenchmarkTable5Scale(b *testing.B) {
+	results := benchTable4(b, []trace.GenSpec{trace.Venus()})
+	if s := lab.Table5(results["Venus"]); len(s) == 0 {
+		b.Fatal("empty scale report")
+	}
+}
+
+// BenchmarkFig10aLatency measures scheduling-decision latency at 2048 jobs
+// (the paper's headline scalability number).
+func BenchmarkFig10aLatency(b *testing.B) {
+	w, err := lab.BuildWorld(trace.Venus(), benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		d, err := lab.Fig10aLatency(2048, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms = float64(d.Microseconds()) / 1000
+	}
+	b.ReportMetric(ms, "ms@2048jobs")
+}
+
+// BenchmarkFig10bTraining measures model training time (Venus history).
+func BenchmarkFig10bTraining(b *testing.B) {
+	spec := trace.Venus()
+	hist := trace.NewGenerator(spec).Emit(int(float64(spec.NumJobs) * benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TrainWorkloadEstimator(hist.Jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11aAblation runs the component ablations.
+func BenchmarkFig11aAblation(b *testing.B) {
+	var fullQueue float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := lab.Fig11a(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullQueue = res["Lucid"].AvgQueueSec
+	}
+	b.ReportMetric(fullQueue, "lucid-queue-s")
+}
+
+// BenchmarkFig11bProfiler compares space-aware vs naive profiling.
+func BenchmarkFig11bProfiler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Fig11b([]trace.GenSpec{trace.Venus()}, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12Sensitivity sweeps the Venus-L/M/H workload mixes.
+func BenchmarkFig12Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Fig12(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6Tprof sweeps the profiling time limit.
+func BenchmarkTable6Tprof(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Table6(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13Prediction regenerates the prediction visualizations.
+func BenchmarkFig13Prediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Fig13(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7Models runs the model shoot-out.
+func BenchmarkTable7Models(b *testing.B) {
+	var lucidR2 float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := lab.Table7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lucidR2 = res.DurationR2["Lucid"]
+	}
+	b.ReportMetric(lucidR2, "lucid-R2")
+}
+
+// BenchmarkFig14aIntensity compares Lucid/Pollux/Tiresias under load
+// scaling.
+func BenchmarkFig14aIntensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.Fig14a([]float64{0.5, 1.5, 2.5}, uint64(i+5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14bAccuracy generates the adaptive-training accuracy curves.
+func BenchmarkFig14bAccuracy(b *testing.B) {
+	var degradation float64
+	for i := 0; i < b.N; i++ {
+		lucid, pollux, _ := lab.Fig14b(uint64(i + 7))
+		degradation = lucid - pollux
+	}
+	b.ReportMetric(degradation, "accuracy-points-lost")
+}
+
+// BenchmarkUpdateInterval runs the §4.5(3) update-interval study.
+func BenchmarkUpdateInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.UpdateIntervalStudy(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrchestratorSort isolates the pure decision hot path: Lucid's
+// priority computation over a synthetic queue (complements Fig10a, which
+// includes the simulator tick).
+func BenchmarkOrchestratorSort(b *testing.B) {
+	spec := trace.Venus()
+	g := trace.NewGenerator(spec)
+	hist := g.Emit(2000)
+	est, err := core.TrainWorkloadEstimator(hist.Jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queue := g.Emit(2048).Jobs
+	core.EnsureProfiles(queue)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range queue {
+			_ = est.EstimateSec(j)
+		}
+	}
+}

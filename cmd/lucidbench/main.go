@@ -1,0 +1,191 @@
+// Command lucidbench regenerates every table and figure of the Lucid
+// paper's evaluation section from this repository's substrates. Each
+// experiment is addressable by id; -exp all runs the full suite.
+//
+// Usage:
+//
+//	lucidbench -exp tab4 -scale 0.2
+//	lucidbench -exp all -scale 0.1
+//	lucidbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/trace"
+)
+
+// experiment maps an id to a runner.
+type experiment struct {
+	id, desc string
+	run      func(scale float64) (string, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig2a", "pair speed vs accumulated GPU utilization + fit", func(float64) (string, error) {
+			_, rep := lab.Fig2a()
+			return rep, nil
+		}},
+		{"fig2b", "batch size & AMP effect on packing speed", func(float64) (string, error) {
+			_, rep := lab.Fig2b()
+			return rep, nil
+		}},
+		{"fig3", "packing examples (ResNet-18 pairs; multi-GPU scales)", func(float64) (string, error) {
+			_, repA := lab.Fig3a()
+			_, repB := lab.Fig3b()
+			return repA + "\n" + repB, nil
+		}},
+		{"fig5", "indolent packing decision quality", func(float64) (string, error) {
+			_, rep, err := lab.Fig5()
+			return rep, err
+		}},
+		{"fig6", "Packing Analyze Model tree + importances", func(float64) (string, error) {
+			return lab.Fig6()
+		}},
+		{"fig7", "GA²M interpretations (global, shape, local)", lab.Fig7},
+		{"tab3", "physical-vs-simulation fidelity on the 32-GPU testbed", func(float64) (string, error) {
+			_, rep, err := lab.Table3(1)
+			return rep, err
+		}},
+		{"tab4", "end-to-end: 3 clusters × 6 schedulers (also fig8, fig9, tab5)", runTab4},
+		{"tab5", "large vs small jobs on Venus", runTab5},
+		{"fig8", "JCT CDF checkpoints", runFig8},
+		{"fig9", "per-VC queuing delay", runFig9},
+		{"fig10a", "scheduling latency vs queue size", runFig10a},
+		{"fig10b", "model training time per cluster", func(scale float64) (string, error) {
+			return lab.Fig10b(allSpecs(), scale)
+		}},
+		{"fig11a", "component ablations on Venus", func(scale float64) (string, error) {
+			_, rep, err := lab.Fig11a(scale)
+			return rep, err
+		}},
+		{"fig11b", "space-aware profiling vs naive", func(scale float64) (string, error) {
+			return lab.Fig11b(allSpecs(), scale)
+		}},
+		{"fig12", "workload-distribution sensitivity (Venus-L/M/H)", lab.Fig12},
+		{"fig13", "prediction visualization (throughput, durations)", lab.Fig13},
+		{"fig14a", "Lucid vs Pollux vs Tiresias under intensity", func(float64) (string, error) {
+			return lab.Fig14a([]float64{0.5, 1.0, 1.5, 2.0, 2.5}, 5)
+		}},
+		{"fig14b", "validation accuracy with/without adaptive training", func(float64) (string, error) {
+			_, _, rep := lab.Fig14b(7)
+			return rep, nil
+		}},
+		{"tab6", "Tprof sensitivity", lab.Table6},
+		{"tab7", "interpretable vs black-box model comparison", func(scale float64) (string, error) {
+			_, rep, err := lab.Table7(scale)
+			return rep, err
+		}},
+		{"update", "model update interval study (§4.5(3))", lab.UpdateIntervalStudy},
+		{"thresholds", "binder threshold sensitivity (§4.5(2))", func(scale float64) (string, error) {
+			_, rep, err := lab.BinderThresholdStudy(scale)
+			return rep, err
+		}},
+		{"tuning", "guided system tuning (§4.6)", lab.GuidedTuningStudy},
+		{"monotonic", "monotonic constraint study (§4.6)", lab.MonotonicConstraintStudy},
+		{"fairness", "fairness extension: priority aging (§6)", lab.FairnessStudy},
+		{"hetero", "heterogeneous GPU generations extension (§6)", lab.HeterogeneityStudy},
+	}
+}
+
+func allSpecs() []trace.GenSpec {
+	return []trace.GenSpec{trace.Venus(), trace.Saturn(), trace.Philly()}
+}
+
+func runTab4(scale float64) (string, error) {
+	_, results, rep, err := lab.Table4(allSpecs(), scale)
+	if err != nil {
+		return "", err
+	}
+	out := rep + "\n" + lab.Fig8(results) + "\n" + lab.Fig9(results)
+	if venus, ok := results["Venus"]; ok {
+		out += "\n" + lab.Table5(venus)
+	}
+	return out, nil
+}
+
+func runTab5(scale float64) (string, error) {
+	_, results, _, err := lab.Table4([]trace.GenSpec{trace.Venus()}, scale)
+	if err != nil {
+		return "", err
+	}
+	return lab.Table5(results["Venus"]), nil
+}
+
+func runFig8(scale float64) (string, error) {
+	_, results, _, err := lab.Table4(allSpecs(), scale)
+	if err != nil {
+		return "", err
+	}
+	return lab.Fig8(results), nil
+}
+
+func runFig9(scale float64) (string, error) {
+	_, results, _, err := lab.Table4(allSpecs(), scale)
+	if err != nil {
+		return "", err
+	}
+	return lab.Fig9(results), nil
+}
+
+func runFig10a(scale float64) (string, error) {
+	w, err := lab.BuildWorld(trace.Venus(), scale)
+	if err != nil {
+		return "", err
+	}
+	_, rep, err := lab.Fig10a(w, []int{128, 256, 512, 1024, 2048})
+	return rep, err
+}
+
+func main() {
+	expID := flag.String("exp", "all", "experiment id (see -list)")
+	scale := flag.Float64("scale", 0.2, "trace scale for end-to-end experiments")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	ids := strings.Split(strings.ToLower(*expID), ",")
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, e := range exps {
+		if !want["all"] && !want[e.id] {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s — %s ===\n", e.id, e.desc)
+		t0 := time.Now()
+		rep, err := e.run(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%.1fs)\n\n", time.Since(t0).Seconds())
+	}
+	if ran == 0 {
+		known := make([]string, 0, len(exps))
+		for _, e := range exps {
+			known = append(known, e.id)
+		}
+		sort.Strings(known)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", *expID, strings.Join(known, " "))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,32 @@
+// Command lucidd is a miniature non-intrusive control plane demonstrating
+// deployment properties A1/A2: jobs are registered with plain metadata (no
+// user-code hooks), resource metrics arrive as NVIDIA-SMI-style samples
+// pushed by node agents, and the scheduler's view — Sharing Scores, duration
+// estimates, priority order — is served over plain HTTP. Nothing here
+// touches the training process.
+//
+//	go run ./cmd/lucidd -addr :8080
+//	curl -XPOST localhost:8080/jobs -d '{"name":"train-v1","user":"alice","vc":"vc0","gpus":2}'
+//	curl -XPOST localhost:8080/metrics -d '{"job":1,"gpu_util":55,"gpu_mem_mb":2600,"gpu_mem_util":38}'
+//	curl localhost:8080/schedule
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/lucidd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv, err := lucidd.NewServer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("lucidd listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,79 @@
+// Command lucidsim runs one (trace, scheduler) simulation and prints the
+// aggregate metrics — the quick way to poke at the system.
+//
+// Usage:
+//
+//	lucidsim -trace venus -sched lucid -scale 0.2
+//	lucidsim -trace philly -sched all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/trace"
+)
+
+func main() {
+	traceName := flag.String("trace", "venus", "trace: venus | saturn | philly")
+	schedName := flag.String("sched", "all", "scheduler: fifo | sjf | qssf | horus | tiresias | lucid | all")
+	scale := flag.Float64("scale", 0.2, "fraction of the Table 2 job count to replay (0 < s ≤ 1)")
+	util := flag.String("util", "M", "workload utilization mix: L | M | H (Figure 12a)")
+	flag.Parse()
+
+	spec, ok := specByName(*traceName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown trace %q\n", *traceName)
+		os.Exit(2)
+	}
+	switch strings.ToUpper(*util) {
+	case "L":
+		spec.Util = trace.UtilLow
+	case "H":
+		spec.Util = trace.UtilHigh
+	default:
+		spec.Util = trace.UtilMedium
+	}
+
+	fmt.Printf("building %s world at scale %.2f (training models on a history month)...\n", spec.Name, *scale)
+	w, err := lab.BuildWorld(spec, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("evaluation month: %d jobs on %d GPUs across %d VCs\n\n",
+		len(w.Eval.Jobs), w.Eval.Cluster.TotalGPUs(), len(w.Eval.Cluster.VCs))
+
+	want := strings.ToLower(*schedName)
+	ran := false
+	for _, nr := range w.Schedulers() {
+		if want != "all" && strings.ToLower(nr.Name) != want {
+			continue
+		}
+		ran = true
+		t0 := time.Now()
+		res := w.Run(nr)
+		fmt.Printf("%s  (wall %.1fs)\n", res.Summary(), time.Since(t0).Seconds())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+}
+
+func specByName(name string) (trace.GenSpec, bool) {
+	switch strings.ToLower(name) {
+	case "venus":
+		return trace.Venus(), true
+	case "saturn":
+		return trace.Saturn(), true
+	case "philly":
+		return trace.Philly(), true
+	default:
+		return trace.GenSpec{}, false
+	}
+}

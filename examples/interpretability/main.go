@@ -1,0 +1,87 @@
+// Interpretability walkthrough: trains Lucid's three interpretable models
+// and prints exactly what a cluster operator would inspect — the decision
+// tree behind packing decisions (Figure 6), the throughput model's learned
+// diurnal shape (Figure 7a/b), and a local explanation of one duration
+// prediction (Figure 7c).
+//
+//	go run ./examples/interpretability
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// --- Packing Analyze Model (decision tree).
+	analyzer, err := core.TrainPackingAnalyzer(workload.DefaultThresholds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Packing Analyze Model (Figure 6) ==")
+	fmt.Print(analyzer.Render())
+	fmt.Println("feature importances:")
+	for i, name := range analyzer.FeatureNames() {
+		fmt.Printf("  %-36s %.3f\n", name, analyzer.FeatureImportances()[i])
+	}
+	fmt.Printf("accuracy on the characterization sweep: %.1f%%\n\n", analyzer.Accuracy()*100)
+
+	// --- Throughput Predict Model on a Saturn-like history.
+	spec := trace.Saturn()
+	spec.NumJobs = 8000
+	hist := trace.NewGenerator(spec).Emit(0)
+	tp, err := core.TrainThroughputModel(hist.Jobs, hist.Days)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Throughput Predict Model (Figure 7a/7b) ==")
+	fmt.Println("global importance (mean |score| per feature):")
+	for i, name := range tp.FeatureNames() {
+		fmt.Printf("  %-16s %.3f\n", name, tp.GlobalImportance()[i])
+	}
+	fmt.Println("\nlearned shape of `hour` (diurnal pattern):")
+	for _, pt := range tp.HourShape() {
+		bars := int(math.Max(0, pt.Score+4))
+		fmt.Printf("  ≤%5.1f %+7.2f %s\n", pt.UpperEdge, pt.Score, bar(bars))
+	}
+
+	// --- Workload Estimate Model local explanation.
+	vSpec := trace.Venus()
+	vSpec.NumJobs = 5000
+	vg := trace.NewGenerator(vSpec)
+	vHist := vg.Emit(0)
+	est, err := core.TrainWorkloadEstimator(vHist.Jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe := vg.Emit(20).Jobs[0]
+	core.EnsureProfiles([]*job.Job{probe})
+	fmt.Println("\n== Workload Estimate Model (Figure 7c) ==")
+	fmt.Printf("job %s (user %s, %d GPUs): predicted %.0f s, true %d s\n",
+		probe.Name, probe.User, probe.GPUs, est.EstimateSec(probe), probe.Duration)
+	intercept, contribs := est.Explain(probe)
+	fmt.Printf("  %-14s %+10.1f\n", "intercept", intercept)
+	for _, c := range contribs {
+		fmt.Printf("  %-14s %+10.1f\n", c.Name, c.Score)
+	}
+}
+
+func bar(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n > 60 {
+		n = 60
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

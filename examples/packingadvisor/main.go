@@ -1,0 +1,70 @@
+// Packing advisor: a standalone use of the Packing Analyze Model + Indolent
+// Packing rules outside the scheduler — given a set of jobs a user wants to
+// run, report each job's Sharing Score and which pairs Lucid would colocate
+// (and at what predicted cost), versus the pairs it refuses.
+//
+//	go run ./examples/packingadvisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	analyzer, err := core.TrainPackingAnalyzer(workload.DefaultThresholds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A user's pending jobs (Table 1 configurations).
+	pending := []struct {
+		name  string
+		batch int
+		amp   bool
+	}{
+		{"ResNet-18", 64, false},
+		{"PointNet", 64, false},
+		{"PPO", 64, false},
+		{"BERT", 32, false},
+		{"EfficientNet", 128, true},
+		{"LSTM", 64, false},
+	}
+
+	var cfgs []workload.Config
+	fmt.Println("Sharing Scores (Tiny packs freely, Jumbo packs never):")
+	for _, p := range pending {
+		cfg, ok := workload.ConfigByName(p.name, p.batch, p.amp)
+		if !ok {
+			log.Fatalf("unknown config %v", p)
+		}
+		cfgs = append(cfgs, cfg)
+		prof := cfg.Profile()
+		score := analyzer.Score(prof)
+		fmt.Printf("  %-38s util=%4.1f%% mem=%5.0fMB → %s\n", cfg, prof.GPUUtil, prof.GPUMemMB, score)
+	}
+
+	const gss = 2
+	fmt.Printf("\nIndolent Packing verdicts (GSS=%d, OOM guard, measured pair speeds):\n", gss)
+	for i := 0; i < len(cfgs); i++ {
+		for j := i + 1; j < len(cfgs); j++ {
+			a, b := cfgs[i], cfgs[j]
+			pa, pb := a.Profile(), b.Profile()
+			sa := analyzer.Score(pa)
+			sb := analyzer.Score(pb)
+			speedA, speedB := workload.PairSpeed(a, b)
+			verdict := "PACK"
+			switch {
+			case int(sa)+int(sb) > gss:
+				verdict = "skip (sharing-score budget)"
+			case pa.GPUMemMB+pb.GPUMemMB > workload.GPUMemMBCap*0.92:
+				verdict = "skip (OOM guard)"
+			}
+			fmt.Printf("  %-24s + %-24s → %-28s (speeds %.2f / %.2f)\n",
+				a.Model.Name(), b.Model.Name(), verdict, speedA, speedB)
+		}
+	}
+}

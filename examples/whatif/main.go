@@ -1,0 +1,109 @@
+// What-if capacity planning: because Lucid is data-driven and the simulator
+// is cheap, an operator can answer "how many nodes does next month need?"
+// by replaying the expected workload against candidate cluster sizes — the
+// same simulate-to-decide loop the System Tuner uses for its own knobs
+// (§3.6.1), pointed at procurement instead.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	// The workload we expect: a Venus-flavoured month, fixed across
+	// candidate clusters.
+	baseNodes := 24
+	mkSpec := func(nodes int) trace.GenSpec {
+		return trace.GenSpec{
+			Name:        "whatif",
+			Nodes:       nodes,
+			NumVCs:      4,
+			NumJobs:     5000,
+			AvgDuration: 5419,
+			Days:        30,
+			Seed:        99,
+		}
+	}
+
+	// Train models once on history at the base size (the models depend on
+	// the workload, not the cluster size).
+	gen := trace.NewGenerator(mkSpec(baseNodes))
+	hist := gen.Emit(0)
+	cfg := core.DefaultConfig()
+	models, err := core.TrainModels(hist, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One fixed workload month; only the cluster changes between candidates.
+	eval := gen.Emit(0)
+
+	// A VC can never shrink below what its largest job needs, or that job
+	// would be unschedulable at any load.
+	minNodes := map[string]int{}
+	for _, j := range eval.Jobs {
+		need := (j.GPUs + 7) / 8
+		if need > minNodes[j.VC] {
+			minNodes[j.VC] = need
+		}
+	}
+
+	fmt.Println("nodes  GPUs  avgJCT(h)  avgQueue(h)  p99.9Queue(h)  util%")
+	for _, nodes := range []int{16, 20, 24, 28, 32} {
+		candidate := *eval
+		candidate.Cluster = resize(eval.Cluster, nodes, baseNodes, minNodes)
+
+		res := sim.New(&candidate, core.New(models, cfg), sim.Options{
+			Tick: 60, SchedulerEvery: 60, ProfilerNodes: 1,
+		}).Run()
+		fmt.Printf("%5d %5d  %9.2f  %11.2f  %13.2f  %5.1f  unfinished=%d\n",
+			nodes, candidate.Cluster.TotalGPUs(),
+			res.AvgJCTHours(), res.AvgQueueHours(), res.P999QueueHours(),
+			res.AvgGPUUtilPct, res.Unfinished)
+	}
+	fmt.Println("\nPick the smallest cluster whose tail queueing is acceptable;")
+	fmt.Println("the knee of the p99.9 column is the capacity cliff.")
+}
+
+// resize scales every VC's node count to a new cluster total by largest-
+// remainder apportionment, keeping the jobs' VC names valid and per-VC
+// shares as close to proportional as integers allow.
+func resize(spec cluster.Spec, nodes, baseNodes int, minNodes map[string]int) cluster.Spec {
+	out := spec
+	out.VCs = append([]cluster.VCSpec(nil), spec.VCs...)
+	factor := float64(nodes) / float64(baseNodes)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	var rems []rem
+	total := 0
+	for i := range out.VCs {
+		exact := float64(out.VCs[i].Nodes) * factor
+		n := int(exact)
+		if min := minNodes[out.VCs[i].Name]; n < min {
+			n = min
+		}
+		if n < 1 {
+			n = 1
+		}
+		out.VCs[i].Nodes = n
+		total += n
+		rems = append(rems, rem{i, exact - float64(n)})
+	}
+	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; total < nodes && k < len(rems); k++ {
+		out.VCs[rems[k].idx].Nodes++
+		total++
+	}
+	return out
+}

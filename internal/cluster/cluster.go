@@ -1,0 +1,438 @@
+// Package cluster is the GPU-cluster resource substrate: nodes of GPUs
+// partitioned into virtual clusters (VCs, §2.1), with consolidated exclusive
+// placement, two-job GPU sharing (the only sharing degree Lucid's Indolent
+// Packing permits), memory accounting for the OOM guard, and occupancy
+// statistics for the utilization experiments.
+//
+// The package is pure bookkeeping — it knows nothing about time or job
+// semantics. The simulator drives it.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GPUID addresses one GPU.
+type GPUID struct {
+	Node  int
+	Index int
+}
+
+// VCSpec describes one virtual cluster partition.
+type VCSpec struct {
+	Name  string
+	Nodes int
+}
+
+// Spec describes a whole cluster.
+type Spec struct {
+	GPUsPerNode int // typically 8
+	GPUMemMB    float64
+	VCs         []VCSpec
+
+	// Heterogeneous generations (the paper's §6 future-work extension):
+	// the first FastNodesFrac of every VC's nodes carry a newer GPU
+	// generation running FastSpeed× faster. Zero values mean a homogeneous
+	// cluster (the paper's evaluated setting).
+	FastNodesFrac float64
+	FastSpeed     float64
+}
+
+// TotalGPUs returns the cluster-wide GPU count of the spec.
+func (s Spec) TotalGPUs() int {
+	n := 0
+	for _, vc := range s.VCs {
+		n += vc.Nodes * s.GPUsPerNode
+	}
+	return n
+}
+
+// gpu tracks the jobs resident on one device.
+type gpu struct {
+	jobs    []int // job IDs, ≤ maxShare
+	memUsed float64
+}
+
+// node is one server.
+type node struct {
+	id    int
+	vc    string
+	speed float64 // GPU-generation speed factor (1.0 = baseline)
+	gpus  []gpu
+}
+
+func (n *node) freeCount() int {
+	c := 0
+	for i := range n.gpus {
+		if len(n.gpus[i].jobs) == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Cluster is the mutable allocation state.
+type Cluster struct {
+	spec    Spec
+	nodes   []*node
+	vcNodes map[string][]*node
+	jobGPUs map[int][]GPUID
+	jobMem  map[int]float64 // per-GPU memory reserved by the job
+
+	maxShare int
+}
+
+// New builds a cluster from a spec. Every VC gets its own contiguous node
+// range, mirroring production partitioning.
+func New(spec Spec) *Cluster {
+	if spec.GPUsPerNode <= 0 {
+		spec.GPUsPerNode = 8
+	}
+	if spec.GPUMemMB <= 0 {
+		spec.GPUMemMB = 24000
+	}
+	c := &Cluster{
+		spec:     spec,
+		vcNodes:  make(map[string][]*node),
+		jobGPUs:  make(map[int][]GPUID),
+		jobMem:   make(map[int]float64),
+		maxShare: 2,
+	}
+	id := 0
+	for _, vc := range spec.VCs {
+		fast := int(float64(vc.Nodes) * spec.FastNodesFrac)
+		for k := 0; k < vc.Nodes; k++ {
+			speed := 1.0
+			if k < fast && spec.FastSpeed > 0 {
+				speed = spec.FastSpeed
+			}
+			n := &node{id: id, vc: vc.Name, speed: speed, gpus: make([]gpu, spec.GPUsPerNode)}
+			c.nodes = append(c.nodes, n)
+			c.vcNodes[vc.Name] = append(c.vcNodes[vc.Name], n)
+			id++
+		}
+	}
+	return c
+}
+
+// SpeedOf returns the GPU-generation speed factor of the node hosting g.
+func (c *Cluster) SpeedOf(g GPUID) float64 {
+	s := c.nodes[g.Node].speed
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// Spec returns the construction spec.
+func (c *Cluster) Spec() Spec { return c.spec }
+
+// TotalGPUs returns the cluster-wide GPU count.
+func (c *Cluster) TotalGPUs() int { return len(c.nodes) * c.spec.GPUsPerNode }
+
+// VCNames lists the VCs in spec order.
+func (c *Cluster) VCNames() []string {
+	out := make([]string, 0, len(c.spec.VCs))
+	for _, vc := range c.spec.VCs {
+		out = append(out, vc.Name)
+	}
+	return out
+}
+
+// FreeGPUs returns the number of completely idle GPUs in the VC ("" = whole
+// cluster).
+func (c *Cluster) FreeGPUs(vc string) int {
+	n := 0
+	for _, nd := range c.nodesOf(vc) {
+		n += nd.freeCount()
+	}
+	return n
+}
+
+func (c *Cluster) nodesOf(vc string) []*node {
+	if vc == "" {
+		return c.nodes
+	}
+	return c.vcNodes[vc]
+}
+
+// CanAllocate reports whether Allocate would succeed for an exclusive,
+// consolidated placement of n GPUs in the VC.
+func (c *Cluster) CanAllocate(vc string, n int) bool {
+	return c.planExclusive(vc, n, PreferAny) != nil
+}
+
+// Preference biases node choice by GPU generation (heterogeneity-aware
+// placement, the §6 extension).
+type Preference int
+
+// Placement preferences.
+const (
+	PreferAny  Preference = iota // pure best-fit (the paper's setting)
+	PreferFast                   // newest generation first (long/heavy jobs)
+	PreferSlow                   // oldest generation first (short jobs)
+)
+
+// Allocate places a job exclusively and consolidated: single-node jobs land
+// on the best-fit node (fewest free GPUs that still fit, reducing
+// fragmentation per §3.2); multi-node jobs take whole nodes plus a best-fit
+// remainder. memPerGPU is reserved on each GPU for the OOM guard.
+func (c *Cluster) Allocate(jobID int, vc string, n int, memPerGPU float64) ([]GPUID, error) {
+	return c.AllocatePrefer(jobID, vc, n, memPerGPU, PreferAny)
+}
+
+// AllocatePrefer is Allocate with a GPU-generation preference.
+func (c *Cluster) AllocatePrefer(jobID int, vc string, n int, memPerGPU float64, pref Preference) ([]GPUID, error) {
+	if _, dup := c.jobGPUs[jobID]; dup {
+		return nil, fmt.Errorf("cluster: job %d already allocated", jobID)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: job %d requests %d GPUs", jobID, n)
+	}
+	plan := c.planExclusive(vc, n, pref)
+	if plan == nil {
+		return nil, fmt.Errorf("cluster: no capacity for %d GPUs in VC %q", n, vc)
+	}
+	c.commit(jobID, plan, memPerGPU)
+	return plan, nil
+}
+
+// better reports whether candidate nd beats the incumbent under the
+// preference: generation first (when preferred), tighter fit second.
+func better(pref Preference, nd *node, ndFree int, best *node, bestFree int) bool {
+	if best == nil {
+		return true
+	}
+	switch pref {
+	case PreferFast:
+		if nd.speed != best.speed {
+			return nd.speed > best.speed
+		}
+	case PreferSlow:
+		if nd.speed != best.speed {
+			return nd.speed < best.speed
+		}
+	}
+	return ndFree < bestFree
+}
+
+// planExclusive computes a consolidated placement or nil.
+func (c *Cluster) planExclusive(vc string, n int, pref Preference) []GPUID {
+	nodes := c.nodesOf(vc)
+	per := c.spec.GPUsPerNode
+
+	if n <= per {
+		var best *node
+		bestFree := per + 1
+		for _, nd := range nodes {
+			f := nd.freeCount()
+			if f >= n && better(pref, nd, f, best, bestFree) {
+				best, bestFree = nd, f
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		return takeFree(best, n)
+	}
+
+	// Distributed job: whole free nodes first (generation-preferred, id
+	// tie-broken for determinism), then a best-fit remainder.
+	whole := n / per
+	rem := n % per
+	var fullFree []*node
+	for _, nd := range nodes {
+		if nd.freeCount() == per {
+			fullFree = append(fullFree, nd)
+		}
+	}
+	if len(fullFree) < whole {
+		return nil
+	}
+	sort.Slice(fullFree, func(i, j int) bool {
+		a, b := fullFree[i], fullFree[j]
+		switch pref {
+		case PreferFast:
+			if a.speed != b.speed {
+				return a.speed > b.speed
+			}
+		case PreferSlow:
+			if a.speed != b.speed {
+				return a.speed < b.speed
+			}
+		}
+		return a.id < b.id
+	})
+	plan := make([]GPUID, 0, n)
+	used := map[int]bool{}
+	for _, nd := range fullFree[:whole] {
+		plan = append(plan, takeFree(nd, per)...)
+		used[nd.id] = true
+	}
+	if rem > 0 {
+		var best *node
+		bestFree := per + 1
+		for _, nd := range nodes {
+			if used[nd.id] {
+				continue
+			}
+			f := nd.freeCount()
+			if f >= rem && better(pref, nd, f, best, bestFree) {
+				best, bestFree = nd, f
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		plan = append(plan, takeFree(best, rem)...)
+	}
+	return plan
+}
+
+// takeFree lists the first n free GPU ids on a node (no mutation).
+func takeFree(nd *node, n int) []GPUID {
+	out := make([]GPUID, 0, n)
+	for i := range nd.gpus {
+		if len(nd.gpus[i].jobs) == 0 {
+			out = append(out, GPUID{Node: nd.id, Index: i})
+			if len(out) == n {
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) commit(jobID int, plan []GPUID, memPerGPU float64) {
+	for _, g := range plan {
+		st := &c.nodes[g.Node].gpus[g.Index]
+		st.jobs = append(st.jobs, jobID)
+		st.memUsed += memPerGPU
+	}
+	c.jobGPUs[jobID] = plan
+	c.jobMem[jobID] = memPerGPU
+}
+
+// CanShare reports whether AllocateShared would succeed: the partner is
+// allocated, every one of its GPUs currently hosts only the partner, and
+// memory headroom remains for memPerGPU more on each.
+func (c *Cluster) CanShare(partnerID int, memPerGPU float64) bool {
+	gpus, ok := c.jobGPUs[partnerID]
+	if !ok {
+		return false
+	}
+	for _, g := range gpus {
+		st := &c.nodes[g.Node].gpus[g.Index]
+		if len(st.jobs) >= c.maxShare {
+			return false
+		}
+		if st.memUsed+memPerGPU > c.spec.GPUMemMB {
+			return false
+		}
+	}
+	return true
+}
+
+// AllocateShared packs jobID onto exactly the partner's GPU set (§3.3 rule 2
+// forbids packing jobs with different GPU demands, so the sets coincide).
+func (c *Cluster) AllocateShared(jobID, partnerID int, memPerGPU float64) ([]GPUID, error) {
+	if _, dup := c.jobGPUs[jobID]; dup {
+		return nil, fmt.Errorf("cluster: job %d already allocated", jobID)
+	}
+	if !c.CanShare(partnerID, memPerGPU) {
+		return nil, fmt.Errorf("cluster: cannot share with job %d", partnerID)
+	}
+	plan := append([]GPUID(nil), c.jobGPUs[partnerID]...)
+	c.commit(jobID, plan, memPerGPU)
+	return plan, nil
+}
+
+// Free releases every GPU the job holds. Unknown jobs are a no-op.
+func (c *Cluster) Free(jobID int) {
+	gpus, ok := c.jobGPUs[jobID]
+	if !ok {
+		return
+	}
+	mem := c.jobMem[jobID]
+	for _, g := range gpus {
+		st := &c.nodes[g.Node].gpus[g.Index]
+		st.memUsed -= mem
+		if st.memUsed < 0 {
+			st.memUsed = 0
+		}
+		for i, id := range st.jobs {
+			if id == jobID {
+				st.jobs = append(st.jobs[:i], st.jobs[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(c.jobGPUs, jobID)
+	delete(c.jobMem, jobID)
+}
+
+// GPUsOf returns the job's GPU set (nil if not allocated).
+func (c *Cluster) GPUsOf(jobID int) []GPUID { return c.jobGPUs[jobID] }
+
+// Allocated reports whether the job holds GPUs.
+func (c *Cluster) Allocated(jobID int) bool {
+	_, ok := c.jobGPUs[jobID]
+	return ok
+}
+
+// PartnerOf returns the job sharing jobID's GPUs, or -1. With maxShare = 2
+// there is at most one.
+func (c *Cluster) PartnerOf(jobID int) int {
+	gpus, ok := c.jobGPUs[jobID]
+	if !ok || len(gpus) == 0 {
+		return -1
+	}
+	g := gpus[0]
+	for _, id := range c.nodes[g.Node].gpus[g.Index].jobs {
+		if id != jobID {
+			return id
+		}
+	}
+	return -1
+}
+
+// Occupancy returns how many GPUs host exactly one job and how many host
+// two.
+func (c *Cluster) Occupancy() (single, shared int) {
+	for _, nd := range c.nodes {
+		for i := range nd.gpus {
+			switch len(nd.gpus[i].jobs) {
+			case 1:
+				single++
+			case 2:
+				shared++
+			}
+		}
+	}
+	return single, shared
+}
+
+// VCOf returns the VC that owns the node hosting g.
+func (c *Cluster) VCOf(g GPUID) string { return c.nodes[g.Node].vc }
+
+// UniformSpec is a convenience constructor: nodes evenly split across
+// numVCs VCs named vc0..vc<n-1> (numVCs = 1 gives a single "all" VC,
+// matching the Philly setup).
+func UniformSpec(totalNodes, gpusPerNode, numVCs int) Spec {
+	spec := Spec{GPUsPerNode: gpusPerNode}
+	if numVCs <= 1 {
+		spec.VCs = []VCSpec{{Name: "vc0", Nodes: totalNodes}}
+		return spec
+	}
+	base := totalNodes / numVCs
+	extra := totalNodes % numVCs
+	for i := 0; i < numVCs; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		spec.VCs = append(spec.VCs, VCSpec{Name: fmt.Sprintf("vc%d", i), Nodes: n})
+	}
+	return spec
+}

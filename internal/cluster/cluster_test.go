@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func twoVC() *Cluster {
+	return New(Spec{GPUsPerNode: 8, VCs: []VCSpec{{"vcA", 2}, {"vcB", 1}}})
+}
+
+func TestTotalsAndVCs(t *testing.T) {
+	c := twoVC()
+	if c.TotalGPUs() != 24 {
+		t.Fatalf("total = %d", c.TotalGPUs())
+	}
+	if got := c.FreeGPUs("vcA"); got != 16 {
+		t.Fatalf("vcA free = %d", got)
+	}
+	if got := c.FreeGPUs(""); got != 24 {
+		t.Fatalf("cluster free = %d", got)
+	}
+	if names := c.VCNames(); len(names) != 2 || names[0] != "vcA" {
+		t.Fatalf("VC names = %v", names)
+	}
+}
+
+func TestExclusiveAllocationConsolidated(t *testing.T) {
+	c := twoVC()
+	gpus, err := c.Allocate(1, "vcA", 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gpus) != 4 {
+		t.Fatalf("got %d GPUs", len(gpus))
+	}
+	node := gpus[0].Node
+	for _, g := range gpus {
+		if g.Node != node {
+			t.Fatal("single-node job split across nodes")
+		}
+	}
+	if c.FreeGPUs("vcA") != 12 {
+		t.Fatalf("free after alloc = %d", c.FreeGPUs("vcA"))
+	}
+}
+
+func TestBestFitReducesFragmentation(t *testing.T) {
+	c := twoVC()
+	// Occupy 6 GPUs on some node of vcA.
+	if _, err := c.Allocate(1, "vcA", 6, 0); err != nil {
+		t.Fatal(err)
+	}
+	firstNode := c.GPUsOf(1)[0].Node
+	// A 2-GPU job must best-fit onto the partially used node.
+	if _, err := c.Allocate(2, "vcA", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GPUsOf(2)[0].Node; got != firstNode {
+		t.Fatalf("best fit chose node %d, want %d", got, firstNode)
+	}
+	// An 8-GPU job still fits on the untouched node.
+	if _, err := c.Allocate(3, "vcA", 8, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCIsolation(t *testing.T) {
+	c := twoVC()
+	// vcB has one node = 8 GPUs; a 9th GPU must fail.
+	if _, err := c.Allocate(1, "vcB", 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate(2, "vcB", 1, 0); err == nil {
+		t.Fatal("allocation in full VC succeeded")
+	}
+	// vcA capacity is untouched.
+	if !c.CanAllocate("vcA", 16) {
+		t.Fatal("vcA should still be empty")
+	}
+}
+
+func TestDistributedAllocation(t *testing.T) {
+	c := New(Spec{GPUsPerNode: 8, VCs: []VCSpec{{"vc", 4}}})
+	gpus, err := c.Allocate(1, "vc", 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gpus) != 20 {
+		t.Fatalf("got %d GPUs", len(gpus))
+	}
+	nodes := map[int]int{}
+	for _, g := range gpus {
+		nodes[g.Node]++
+	}
+	full := 0
+	for _, cnt := range nodes {
+		if cnt == 8 {
+			full++
+		}
+	}
+	if full != 2 {
+		t.Fatalf("distributed job should take 2 whole nodes, took %d (%v)", full, nodes)
+	}
+}
+
+func TestDistributedNeedsWholeFreeNodes(t *testing.T) {
+	c := New(Spec{GPUsPerNode: 8, VCs: []VCSpec{{"vc", 2}}})
+	// One GPU busy on each node → no whole free node remains.
+	if _, err := c.Allocate(1, "vc", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate(2, "vc", 8, 0); err != nil {
+		t.Fatal(err) // 8 fits on the second node
+	}
+	if _, err := c.Allocate(3, "vc", 9, 0); err == nil {
+		t.Fatal("9-GPU job fit without a whole free node")
+	}
+}
+
+func TestSharing(t *testing.T) {
+	c := twoVC()
+	if _, err := c.Allocate(1, "vcA", 2, 8000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanShare(1, 8000) {
+		t.Fatal("CanShare should allow a second 8 GB job on 24 GB GPUs")
+	}
+	gpus, err := c.AllocateShared(2, 1, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same GPU set.
+	g1 := c.GPUsOf(1)
+	for i := range gpus {
+		if gpus[i] != g1[i] {
+			t.Fatal("shared job not on partner's GPUs")
+		}
+	}
+	if p := c.PartnerOf(1); p != 2 {
+		t.Fatalf("PartnerOf(1) = %d", p)
+	}
+	if p := c.PartnerOf(2); p != 1 {
+		t.Fatalf("PartnerOf(2) = %d", p)
+	}
+	// A third job must be rejected (two-job cap).
+	if c.CanShare(1, 100) {
+		t.Fatal("three-way sharing allowed")
+	}
+	if _, err := c.AllocateShared(3, 1, 100); err == nil {
+		t.Fatal("three-way sharing succeeded")
+	}
+}
+
+func TestSharingOOMGuard(t *testing.T) {
+	c := twoVC()
+	if _, err := c.Allocate(1, "vcA", 1, 16000); err != nil {
+		t.Fatal(err)
+	}
+	if c.CanShare(1, 10000) {
+		t.Fatal("16+10 GB should exceed 24 GB")
+	}
+	if !c.CanShare(1, 7000) {
+		t.Fatal("16+7 GB fits")
+	}
+}
+
+func TestFreeRestoresState(t *testing.T) {
+	c := twoVC()
+	if _, err := c.Allocate(1, "vcA", 4, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocateShared(2, 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	c.Free(1)
+	if c.Allocated(1) {
+		t.Fatal("job 1 still allocated")
+	}
+	// Job 2 now runs exclusively on those GPUs.
+	if p := c.PartnerOf(2); p != -1 {
+		t.Fatalf("partner after free = %d", p)
+	}
+	single, shared := c.Occupancy()
+	if single != 4 || shared != 0 {
+		t.Fatalf("occupancy = %d/%d", single, shared)
+	}
+	c.Free(2)
+	if c.FreeGPUs("") != 24 {
+		t.Fatal("GPUs leaked")
+	}
+	// Double free is a no-op.
+	c.Free(2)
+}
+
+func TestDoubleAllocateRejected(t *testing.T) {
+	c := twoVC()
+	if _, err := c.Allocate(1, "vcA", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate(1, "vcA", 1, 0); err == nil {
+		t.Fatal("double allocation accepted")
+	}
+	if _, err := c.AllocateShared(1, 1, 0); err == nil {
+		t.Fatal("self-share accepted")
+	}
+	if _, err := c.Allocate(2, "vcA", 0, 0); err == nil {
+		t.Fatal("zero-GPU job accepted")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c := twoVC()
+	c.Allocate(1, "vcA", 3, 0)
+	c.Allocate(2, "vcA", 2, 0)
+	c.AllocateShared(3, 2, 0)
+	single, shared := c.Occupancy()
+	if single != 3 || shared != 2 {
+		t.Fatalf("occupancy = %d single %d shared", single, shared)
+	}
+}
+
+func TestUniformSpec(t *testing.T) {
+	spec := UniformSpec(10, 8, 3)
+	if got := spec.TotalGPUs(); got != 80 {
+		t.Fatalf("total = %d", got)
+	}
+	if len(spec.VCs) != 3 {
+		t.Fatalf("VCs = %d", len(spec.VCs))
+	}
+	// 10 = 4+3+3.
+	if spec.VCs[0].Nodes != 4 || spec.VCs[1].Nodes != 3 {
+		t.Fatalf("node split = %+v", spec.VCs)
+	}
+	one := UniformSpec(5, 8, 1)
+	if len(one.VCs) != 1 || one.VCs[0].Nodes != 5 {
+		t.Fatalf("single-VC spec = %+v", one)
+	}
+}
+
+func TestAllocateFreeInvariant(t *testing.T) {
+	// Property: any sequence of allocations followed by freeing everything
+	// returns the cluster to fully free.
+	check := func(sizes []uint8) bool {
+		c := New(Spec{GPUsPerNode: 8, VCs: []VCSpec{{"vc", 4}}})
+		var placed []int
+		id := 0
+		for _, s := range sizes {
+			n := int(s)%8 + 1
+			id++
+			if _, err := c.Allocate(id, "vc", n, 100); err == nil {
+				placed = append(placed, id)
+			}
+		}
+		for _, id := range placed {
+			c.Free(id)
+		}
+		single, shared := c.Occupancy()
+		return c.FreeGPUs("") == 32 && single == 0 && shared == 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCOf(t *testing.T) {
+	c := twoVC()
+	gpus, _ := c.Allocate(1, "vcB", 1, 0)
+	if got := c.VCOf(gpus[0]); got != "vcB" {
+		t.Fatalf("VCOf = %q", got)
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import "testing"
+
+func heteroCluster() *Cluster {
+	// 4 nodes, first 25% (1 node) fast.
+	return New(Spec{GPUsPerNode: 8, FastNodesFrac: 0.25, FastSpeed: 1.6,
+		VCs: []VCSpec{{Name: "vc", Nodes: 4}}})
+}
+
+func TestSpeedOfGenerations(t *testing.T) {
+	c := heteroCluster()
+	fast, slow := 0, 0
+	for n := 0; n < 4; n++ {
+		switch c.SpeedOf(GPUID{Node: n}) {
+		case 1.6:
+			fast++
+		case 1.0:
+			slow++
+		default:
+			t.Fatalf("unexpected speed on node %d", n)
+		}
+	}
+	if fast != 1 || slow != 3 {
+		t.Fatalf("generation split %d fast / %d slow", fast, slow)
+	}
+}
+
+func TestHomogeneousDefaultsToUnitSpeed(t *testing.T) {
+	c := New(Spec{GPUsPerNode: 8, VCs: []VCSpec{{Name: "vc", Nodes: 2}}})
+	if c.SpeedOf(GPUID{Node: 0}) != 1 || c.SpeedOf(GPUID{Node: 1}) != 1 {
+		t.Fatal("homogeneous cluster must report unit speeds")
+	}
+}
+
+func TestAllocatePreferFast(t *testing.T) {
+	c := heteroCluster()
+	gpus, err := c.AllocatePrefer(1, "vc", 2, 0, PreferFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SpeedOf(gpus[0]) != 1.6 {
+		t.Fatal("PreferFast landed on a slow node with fast capacity free")
+	}
+	// Fill the fast node; the next fast-preferring job must fall back.
+	if _, err := c.AllocatePrefer(2, "vc", 6, 0, PreferFast); err != nil {
+		t.Fatal(err)
+	}
+	gpus3, err := c.AllocatePrefer(3, "vc", 4, 0, PreferFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SpeedOf(gpus3[0]) != 1.0 {
+		t.Fatal("fallback should use slow nodes once fast is full")
+	}
+}
+
+func TestAllocatePreferSlow(t *testing.T) {
+	c := heteroCluster()
+	gpus, err := c.AllocatePrefer(1, "vc", 2, 0, PreferSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SpeedOf(gpus[0]) != 1.0 {
+		t.Fatal("PreferSlow landed on the fast node")
+	}
+}
+
+func TestPreferFastDistributed(t *testing.T) {
+	// 16-GPU job with PreferFast should include the fast node as one of its
+	// two whole nodes.
+	c := heteroCluster()
+	gpus, err := c.AllocatePrefer(1, "vc", 16, 0, PreferFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFast := false
+	for _, g := range gpus {
+		if c.SpeedOf(g) == 1.6 {
+			sawFast = true
+		}
+	}
+	if !sawFast {
+		t.Fatal("distributed PreferFast skipped the fast node")
+	}
+}
+
+func TestPreferenceDoesNotBreakBestFit(t *testing.T) {
+	// With PreferAny, behaviour matches plain Allocate (best fit).
+	c := heteroCluster()
+	if _, err := c.Allocate(1, "vc", 6, 0); err != nil {
+		t.Fatal(err)
+	}
+	first := c.GPUsOf(1)[0].Node
+	g2, err := c.AllocatePrefer(2, "vc", 2, 0, PreferAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2[0].Node != first {
+		t.Fatal("PreferAny no longer best-fits")
+	}
+}

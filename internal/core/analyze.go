@@ -1,0 +1,106 @@
+// Package core implements Lucid itself — the paper's contribution (§3): the
+// Non-intrusive Job Profiler with Space-aware Profiling and Time-aware
+// Scaling, the Affine-jobpair Binder with Indolent Packing and its Dynamic
+// Strategy, the Resource Orchestrator, the three interpretable models
+// (Packing Analyze, Throughput Predict, Workload Estimate), and the system
+// optimizers (Update Engine, System Tuner).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/ml/dtree"
+	"repro/internal/ml/mlmodel"
+	"repro/internal/workload"
+)
+
+// PackingAnalyzer is the Packing Analyze Model (§3.5.1): a pruned decision
+// tree mapping a job's non-intrusive profile — GPU utilization, GPU memory,
+// GPU memory utilization, and the optional user-declared AMP flag — to a
+// ternary Sharing Score (Tiny / Medium / Jumbo). Figure 6 is its rendering.
+type PackingAnalyzer struct {
+	tree       *dtree.Tree
+	thresholds workload.Thresholds
+}
+
+// packingFeatureNames follows Figure 6's notation: U_G, M_G, U_M, A.
+var packingFeatureNames = []string{
+	"GPU Utilization (%)",
+	"GPU Memory Usage (MB)",
+	"GPU Memory Utilization (%)",
+	"Mixed Precision Training (binary)",
+}
+
+// packingClassNames index by SharingScore.
+var packingClassNames = []string{"Tiny", "Medium", "Jumbo"}
+
+// profileRow encodes a profile for the tree.
+func profileRow(p workload.Profile) []float64 {
+	amp := 0.0
+	if p.AMP {
+		amp = 1
+	}
+	return []float64{p.GPUUtil, p.GPUMemMB, p.GPUMemUtil, amp}
+}
+
+// TrainPackingAnalyzer fits the decision tree on the §2.3 characterization
+// sweep (every Table 1 configuration labeled by its measured colocation
+// influence) and prunes it with minimal cost-complexity pruning for a
+// compact, interpretable tree.
+func TrainPackingAnalyzer(th workload.Thresholds) (*PackingAnalyzer, error) {
+	examples := workload.LabeledDataset(th)
+	x := make([][]float64, len(examples))
+	y := make([]float64, len(examples))
+	for i, ex := range examples {
+		x[i] = profileRow(ex.Profile)
+		y[i] = float64(ex.Score)
+	}
+	ds, err := mlmodel.NewDataset(x, y, packingFeatureNames)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := dtree.FitClassifier(ds, 3, dtree.Params{MaxDepth: 5, MinSamplesLeaf: 2})
+	if err != nil {
+		return nil, fmt.Errorf("core: packing analyzer: %w", err)
+	}
+	tree.PruneCCP(0.01)
+	return &PackingAnalyzer{tree: tree, thresholds: th}, nil
+}
+
+// Score classifies one profile.
+func (a *PackingAnalyzer) Score(p workload.Profile) workload.SharingScore {
+	return workload.SharingScore(a.tree.PredictClass(profileRow(p)))
+}
+
+// ScoreJob classifies a profiled job; unprofiled jobs are conservatively
+// Jumbo (never packed), keeping the non-intrusive guarantee: no packing
+// decision without measurements.
+func (a *PackingAnalyzer) ScoreJob(j *job.Job) workload.SharingScore {
+	if !j.Profiled {
+		return workload.Jumbo
+	}
+	return a.Score(j.Profile)
+}
+
+// Accuracy evaluates the tree against ground truth over the full catalog.
+func (a *PackingAnalyzer) Accuracy() float64 {
+	var pred, truth []int
+	for _, ex := range workload.LabeledDataset(a.thresholds) {
+		pred = append(pred, int(a.Score(ex.Profile)))
+		truth = append(truth, int(ex.Score))
+	}
+	return mlmodel.Accuracy(pred, truth)
+}
+
+// Render prints the learned tree — the left panel of Figure 6.
+func (a *PackingAnalyzer) Render() string { return a.tree.Render(packingClassNames) }
+
+// FeatureImportances returns Gini importances — the right panel of
+// Figure 6. Index order matches packingFeatureNames.
+func (a *PackingAnalyzer) FeatureImportances() []float64 { return a.tree.FeatureImportances() }
+
+// FeatureNames exposes the Figure 6 feature labels.
+func (a *PackingAnalyzer) FeatureNames() []string {
+	return append([]string(nil), packingFeatureNames...)
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"repro/internal/job"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// PackMode is the Binder's Dynamic Strategy state (§3.3).
+type PackMode int
+
+// Packing modes: Default packs under GSS=2, Apathetic tightens to GSS=1,
+// Disabled turns sharing off for faster completion at low load.
+const (
+	PackDefault PackMode = iota
+	PackApathetic
+	PackDisabled
+)
+
+// String names the mode.
+func (m PackMode) String() string {
+	switch m {
+	case PackDefault:
+		return "Default"
+	case PackApathetic:
+		return "Apathetic"
+	case PackDisabled:
+		return "Disabled"
+	default:
+		return "?"
+	}
+}
+
+// Binder is the Affine-jobpair Binder (§3.3): Indolent Packing under a GPU
+// Sharing Capacity budget, with the rule set of the paper:
+//
+//  1. hard memory limit (OOM guard),
+//  2. never pack different GPU demands (straggler effect),
+//  3. at most two jobs per GPU set,
+//  4. evict on unstable utilization (moot here: profiles are stationary by
+//     construction — documented substitution),
+//  5. never pack distributed jobs (network contention).
+type Binder struct {
+	// GSS is the GPU Sharing Capacity in Default mode (paper default 2).
+	GSS int
+	// Indolent toggles the Sharing-Score discipline; disabling it (the
+	// Figure 11a "w/o Binder" ablation) packs naively under only the hard
+	// rules.
+	Indolent bool
+	// TimeAwarePack skips partners that are about to finish ("eliminate
+	// jobs with little remaining runtime", Algorithm 2); needs the
+	// estimator.
+	TimeAwarePack bool
+	// MinRemainSec is the partner-remaining-runtime floor for packing.
+	MinRemainSec float64
+	// MemMarginFrac keeps this fraction of GPU memory free as OOM headroom.
+	MemMarginFrac float64
+
+	mode PackMode
+}
+
+// NewBinder returns the paper-default binder.
+func NewBinder() *Binder {
+	return &Binder{GSS: 2, Indolent: true, TimeAwarePack: true,
+		MinRemainSec: 600, MemMarginFrac: 0.08, mode: PackDefault}
+}
+
+// SetMode applies the Dynamic Strategy decision.
+func (b *Binder) SetMode(m PackMode) { b.mode = m }
+
+// Mode returns the current packing mode.
+func (b *Binder) Mode() PackMode { return b.mode }
+
+// ModeFromLoad maps a throughput forecast level to a packing mode: low
+// predicted load relaxes packing (§3.3's Dynamic Strategy).
+func ModeFromLoad(level LoadLevel) PackMode {
+	switch level {
+	case LoadLow:
+		return PackApathetic
+	default:
+		return PackDefault
+	}
+}
+
+// gssNow is the effective sharing budget under the current mode.
+func (b *Binder) gssNow() int {
+	switch b.mode {
+	case PackApathetic:
+		return b.GSS - 1
+	case PackDisabled:
+		return -1
+	default:
+		return b.GSS
+	}
+}
+
+// SharingEnabled reports whether any packing can happen right now
+// (Algorithm 2's CheckSharingStrategy).
+func (b *Binder) SharingEnabled() bool { return b.mode != PackDisabled }
+
+// FindPartner returns the best running job to pack j with, or nil
+// (Algorithm 2's CheckAffineJobPair). score gives each job's Sharing Score;
+// remaining estimates a running job's remaining seconds.
+func (b *Binder) FindPartner(env *sim.Env, j *job.Job,
+	score func(*job.Job) workload.SharingScore,
+	remaining func(*job.Job) float64) *job.Job {
+
+	if !b.SharingEnabled() || !j.Profiled {
+		return nil
+	}
+	if j.Distributed() {
+		return nil // rule 5
+	}
+	gss := b.gssNow()
+	sj := score(j)
+	if b.Indolent && int(sj) > gss {
+		return nil // a job too heavy for any partner under the budget
+	}
+
+	memCap := workload.GPUMemMBCap * (1 - b.MemMarginFrac)
+	var best *job.Job
+	bestKey := 1e18
+	for _, r := range env.Running() {
+		if r.VC != j.VC || r.GPUs != j.GPUs || r.Distributed() {
+			continue // rules 2 and 5 (same demand, no distributed partners)
+		}
+		if !r.Profiled {
+			continue
+		}
+		if env.Cluster().PartnerOf(r.ID) >= 0 {
+			continue // rule 3: two jobs max
+		}
+		if j.Profile.GPUMemMB+r.Profile.GPUMemMB > memCap {
+			continue // rule 1: OOM guard
+		}
+		if b.Indolent && int(sj)+int(score(r)) > gss {
+			continue // Indolent Packing: sharing-score budget
+		}
+		if b.TimeAwarePack && remaining != nil {
+			if rem := remaining(r); rem < b.MinRemainSec {
+				continue // partner about to exit; packing buys nothing
+			}
+		}
+		// Prefer the least-contended pairing: lowest combined utilization.
+		key := j.Profile.GPUUtil + r.Profile.GPUUtil
+		if key < bestKey {
+			bestKey, best = key, r
+		}
+	}
+	return best
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestPackingAnalyzerAccuracy(t *testing.T) {
+	a, err := TrainPackingAnalyzer(workload.DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.6: "DT is sufficient to provide equivalent accuracy (94.1 %)".
+	if acc := a.Accuracy(); acc < 0.88 {
+		t.Fatalf("packing analyzer accuracy %v, want ≥0.88", acc)
+	}
+}
+
+func TestPackingAnalyzerInterpretation(t *testing.T) {
+	a, _ := TrainPackingAnalyzer(workload.DefaultThresholds)
+	out := a.Render()
+	for _, want := range []string{"GPU Utilization", "Tiny", "Jumbo"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+	imp := a.FeatureImportances()
+	// Figure 6: U_G (GPU utilization) dominates.
+	for i := 1; i < len(imp); i++ {
+		if imp[i] > imp[0] {
+			t.Fatalf("feature %q (%.3f) outweighs GPU utilization (%.3f)",
+				a.FeatureNames()[i], imp[i], imp[0])
+		}
+	}
+}
+
+func TestPackingAnalyzerUnprofiledIsJumbo(t *testing.T) {
+	a, _ := TrainPackingAnalyzer(workload.DefaultThresholds)
+	cfg := workload.Config{Model: workload.PPO, BatchSize: 64}
+	j := job.New(1, "x", "u", "vc", 1, 0, 100, cfg)
+	if s := a.ScoreJob(j); s != workload.Jumbo {
+		t.Fatalf("unprofiled job scored %v, must be conservative Jumbo", s)
+	}
+	j.Profiled = true
+	j.Profile = cfg.Profile()
+	if s := a.ScoreJob(j); s != workload.Tiny {
+		t.Fatalf("profiled PPO scored %v, want Tiny", s)
+	}
+}
+
+func historyTrace(n int) (*trace.Trace, *trace.Generator) {
+	s := trace.Venus()
+	s.NumJobs = n
+	g := trace.NewGenerator(s)
+	return g.Emit(0), g
+}
+
+func TestWorkloadEstimatorEndToEnd(t *testing.T) {
+	hist, g := historyTrace(4000)
+	est, err := TrainWorkloadEstimator(hist.Jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := g.Emit(3000)
+	if r2 := est.EvalR2(next.Jobs); r2 < 0.1 {
+		t.Fatalf("estimator R² = %v on next month", r2)
+	}
+	// Explanations sum to the prediction.
+	j := next.Jobs[0]
+	EnsureProfiles([]*job.Job{j})
+	intercept, contribs := est.Explain(j)
+	sum := intercept
+	for _, c := range contribs {
+		sum += c.Score
+	}
+	got := est.EstimateSec(j)
+	if got >= 61 && abs(sum-got) > 1e-6 {
+		t.Fatalf("explanation sums to %v, estimate is %v", sum, got)
+	}
+	if len(est.FeatureNames()) == 0 || len(est.GlobalImportance()) != len(est.FeatureNames()) {
+		t.Fatal("importance/name mismatch")
+	}
+}
+
+func TestEstimatorCacheInvalidation(t *testing.T) {
+	hist, g := historyTrace(2000)
+	est, _ := TrainWorkloadEstimator(hist.Jobs)
+	j := g.Emit(10).Jobs[0]
+	v1 := est.EstimateSec(j)
+	// Attaching a profile and invalidating may change the estimate; the
+	// cache must at minimum be refreshed.
+	j.Profiled = true
+	j.Profile = j.Config.Profile()
+	est.Invalidate(j.ID)
+	v2 := est.EstimateSec(j)
+	if v2 <= 0 {
+		t.Fatalf("estimate after invalidation = %v", v2)
+	}
+	_ = v1
+}
+
+func TestThroughputModelForecast(t *testing.T) {
+	hist, _ := historyTrace(8000)
+	tp, err := TrainThroughputModel(hist.Jobs, hist.Days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Night hours forecast below day hours (diurnal shape).
+	night := tp.ForecastNextHour(3, 10)
+	day := tp.ForecastNextHour(14, 10)
+	if day <= night {
+		t.Fatalf("diurnal forecast inverted: day=%v night=%v", day, night)
+	}
+	// Levels bucket sensibly.
+	if tp.Level(0) != LoadLow {
+		t.Fatal("zero forecast must be LoadLow")
+	}
+	if tp.Level(tp.Baseline()*2) != LoadHigh {
+		t.Fatal("2× baseline must be LoadHigh")
+	}
+	if tp.Level(tp.Baseline()) != LoadNormal {
+		t.Fatal("baseline must be LoadNormal")
+	}
+	// Observing keeps the window bounded.
+	for i := 0; i < 500; i++ {
+		tp.Observe(5)
+	}
+	if f := tp.ForecastNextHour(14, 20); f < 0 {
+		t.Fatalf("forecast negative: %v", f)
+	}
+}
+
+func TestBinderRules(t *testing.T) {
+	b := NewBinder()
+	cfgLight := workload.Config{Model: workload.PointNet, BatchSize: 64}
+	cfgHeavy := workload.Config{Model: workload.BERT, BatchSize: 32}
+
+	mk := func(id, gpus int, cfg workload.Config) *job.Job {
+		j := job.New(id, "x", "u", "vc", gpus, 0, 10000, cfg)
+		j.Profiled = true
+		j.Profile = cfg.Profile()
+		return j
+	}
+	score := func(j *job.Job) workload.SharingScore {
+		if j.Config.Model == workload.BERT {
+			return workload.Jumbo
+		}
+		return workload.Tiny
+	}
+
+	// Distributed jobs never pack (rule 5).
+	jDist := mk(1, 16, cfgLight)
+	if p := b.FindPartner(nil, jDist, score, nil); p != nil {
+		t.Fatal("distributed job offered a partner")
+	}
+	// Jumbo job under Apathetic mode (GSS=1) cannot pack at all.
+	b.SetMode(PackApathetic)
+	jHeavy := mk(2, 1, cfgHeavy)
+	if p := b.FindPartner(nil, jHeavy, score, nil); p != nil {
+		t.Fatal("Jumbo job packed under GSS=1")
+	}
+	// Disabled mode packs nothing.
+	b.SetMode(PackDisabled)
+	if b.SharingEnabled() {
+		t.Fatal("disabled binder claims sharing enabled")
+	}
+	// Mode helpers.
+	if ModeFromLoad(LoadLow) != PackApathetic || ModeFromLoad(LoadHigh) != PackDefault {
+		t.Fatal("ModeFromLoad mapping wrong")
+	}
+	if PackDefault.String() != "Default" || PackDisabled.String() != "Disabled" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+// runLucid executes Lucid end-to-end on a trace with models trained from a
+// sibling history month.
+func runLucid(t *testing.T, tr *trace.Trace, hist *trace.Trace, cfg Config) *sim.Result {
+	t.Helper()
+	models, err := TrainModels(hist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.New(tr, New(models, cfg), sim.Options{
+		Tick: 60, SchedulerEvery: 60, ProfilerNodes: 2,
+	}).Run()
+}
+
+// miniVenus shrinks cluster and workload together so the load profile (and
+// therefore queueing contention) matches the full-scale trace.
+func miniVenus() trace.GenSpec {
+	s := trace.Venus()
+	s.Nodes = 20
+	s.NumVCs = 4
+	s.NumJobs = 4000
+	return s
+}
+
+func TestLucidEndToEndBeatsFIFO(t *testing.T) {
+	g := trace.NewGenerator(miniVenus())
+	hist := g.Emit(0)
+	eval := g.Emit(0)
+
+	lucid := runLucid(t, eval, hist, DefaultConfig())
+	if lucid.Unfinished > 0 {
+		t.Fatalf("Lucid left %d jobs unfinished", lucid.Unfinished)
+	}
+
+	fifo := sim.New(eval, sched.NewFIFO(), sim.Options{Tick: 60, SchedulerEvery: 60}).Run()
+	if lucid.AvgJCTSec >= fifo.AvgJCTSec {
+		t.Fatalf("Lucid avgJCT %.0fs not better than FIFO %.0fs", lucid.AvgJCTSec, fifo.AvgJCTSec)
+	}
+	if lucid.AvgQueueSec >= fifo.AvgQueueSec {
+		t.Fatalf("Lucid queue %.0fs not better than FIFO %.0fs", lucid.AvgQueueSec, fifo.AvgQueueSec)
+	}
+}
+
+func TestLucidDebugFeedback(t *testing.T) {
+	// Short jobs get near-immediate feedback via the profiler: their JCT is
+	// close to their duration.
+	s := trace.Venus()
+	s.NumJobs = 2000
+	g := trace.NewGenerator(s)
+	hist := g.Emit(0)
+	eval := g.Emit(0)
+	res := runLucid(t, eval, hist, DefaultConfig())
+
+	var shortJCT, shortDur float64
+	var n int
+	for _, j := range res.Jobs {
+		if j.Finish >= 0 && j.Duration <= 60 {
+			shortJCT += float64(j.JCT())
+			shortDur += float64(j.Duration)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Skip("no sub-minute jobs in the sample")
+	}
+	// Average feedback delay for debug jobs under 10 minutes.
+	if (shortJCT-shortDur)/float64(n) > 600 {
+		t.Fatalf("debug jobs wait %.0fs on average", (shortJCT-shortDur)/float64(n))
+	}
+}
+
+func TestLucidAblationOrdering(t *testing.T) {
+	// Full Lucid must not be worse than the no-sharing ablation on queueing
+	// (Figure 11a's direction), modulo small-scale noise tolerance.
+	g := trace.NewGenerator(miniVenus())
+	hist := g.Emit(0)
+	eval := g.Emit(0)
+
+	full := runLucid(t, eval, hist, DefaultConfig())
+
+	noShare := DefaultConfig()
+	noShare.DisableSharing = true
+	ns := runLucid(t, eval, hist, noShare)
+
+	if full.AvgQueueSec > ns.AvgQueueSec*1.25 {
+		t.Fatalf("sharing hurt queueing badly: full=%.0fs no-share=%.0fs",
+			full.AvgQueueSec, ns.AvgQueueSec)
+	}
+
+	noEst := DefaultConfig()
+	noEst.DisableEstimator = true
+	ne := runLucid(t, eval, hist, noEst)
+	if full.AvgJCTSec > ne.AvgJCTSec*1.3 {
+		t.Fatalf("estimator ablation outperformed full Lucid by >30%%: full=%.0f vs %.0f",
+			full.AvgJCTSec, ne.AvgJCTSec)
+	}
+}
+
+func TestTuneProfilerRanksConfigs(t *testing.T) {
+	s := trace.Venus()
+	s.NumJobs = 800
+	g := trace.NewGenerator(s)
+	hist := g.Emit(0)
+	recent := g.Emit(600)
+	cfg := DefaultConfig()
+	models, err := TrainModels(hist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := TuneProfiler(recent, models, cfg,
+		[]int64{100, 600}, []int{8}, sim.Options{Tick: 120, SchedulerEvery: 120, ProfilerNodes: 2})
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	// Sorted best-first.
+	if cands[0].AvgQueueSec > cands[1].AvgQueueSec {
+		t.Fatal("candidates not sorted by queue delay")
+	}
+	if !strings.Contains(RenderTuning(cands), "Tprof") {
+		t.Fatal("tuning report malformed")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

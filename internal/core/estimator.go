@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/feat"
+	"repro/internal/job"
+	"repro/internal/ml/gam"
+	"repro/internal/ml/mlmodel"
+)
+
+// WorkloadEstimator is the Workload Estimate Model (§3.5.3): a GA²M over
+// trace features plus — unlike QSSF — the profiled resource features,
+// predicting job duration for the Resource Orchestrator's priority values.
+// It satisfies sched.Estimator.
+type WorkloadEstimator struct {
+	feat  *feat.DurationFeaturizer
+	model *gam.Model
+	// cache avoids re-deriving an unchanged job's estimate on every
+	// scheduler tick (the queue is re-sorted constantly).
+	cache map[int]float64
+
+	// MonotonicGPUNum applies the §3.6.1 System Tuner constraint: the
+	// gpu_num shape function is forced non-decreasing at training time.
+	MonotonicGPUNum bool
+
+	params gam.Params
+}
+
+// estimatorGAMParams are sized so monthly refits stay in the seconds range
+// (Figure 10b) on 10⁴–10⁵ job histories.
+func estimatorGAMParams() gam.Params {
+	return gam.Params{MaxBins: 64, Rounds: 300, LearningRate: 0.05}
+}
+
+// TrainWorkloadEstimator fits the model on completed history jobs. Histories
+// come from simulation runs or trace months; profiles are attached if
+// missing (a completed job's profile is always observable from its run).
+func TrainWorkloadEstimator(history []*job.Job) (*WorkloadEstimator, error) {
+	return trainWorkloadEstimator(history, true)
+}
+
+func trainWorkloadEstimator(history []*job.Job, monotonic bool) (*WorkloadEstimator, error) {
+	if len(history) == 0 {
+		return nil, fmt.Errorf("core: estimator needs history")
+	}
+	EnsureProfiles(history)
+	w := &WorkloadEstimator{
+		feat:            feat.NewDurationFeaturizer(history, true),
+		cache:           map[int]float64{},
+		MonotonicGPUNum: monotonic,
+		params:          estimatorGAMParams(),
+	}
+	if err := w.refit(history); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// refit retrains the GA²M on the given jobs with the existing featurizer.
+func (w *WorkloadEstimator) refit(history []*job.Job) error {
+	ds := w.feat.Dataset(history)
+	m, err := gam.Fit(ds, w.params)
+	if err != nil {
+		return fmt.Errorf("core: estimator fit: %w", err)
+	}
+	if w.MonotonicGPUNum {
+		m.ApplyMonotonic(0, true) // feature 0 is gpu_num
+	}
+	w.model = m
+	w.cache = map[int]float64{}
+	return nil
+}
+
+// Update refits featurizer and model from an extended history — the Update
+// Engine's periodic maintenance (§3.6.2).
+func (w *WorkloadEstimator) Update(history []*job.Job) error {
+	if len(history) == 0 {
+		return fmt.Errorf("core: empty update history")
+	}
+	EnsureProfiles(history)
+	w.feat = feat.NewDurationFeaturizer(history, true)
+	return w.refit(history)
+}
+
+// EstimateSec implements sched.Estimator: predicted duration in seconds,
+// floored at one minute (the profiler already filtered most sub-minute
+// jobs).
+func (w *WorkloadEstimator) EstimateSec(j *job.Job) float64 {
+	if v, ok := w.cache[j.ID]; ok {
+		return v
+	}
+	v := w.model.Predict(w.feat.Features(j))
+	if v < 60 {
+		v = 60
+	}
+	w.cache[j.ID] = v
+	return v
+}
+
+// Invalidate clears a cached estimate (e.g. after profiling attached new
+// features).
+func (w *WorkloadEstimator) Invalidate(jobID int) { delete(w.cache, jobID) }
+
+// Explain returns the local interpretation of one prediction — Figure 7c.
+func (w *WorkloadEstimator) Explain(j *job.Job) (intercept float64, contribs []gam.Contribution) {
+	return w.model.Explain(w.feat.Features(j))
+}
+
+// GlobalImportance exposes the model's Figure 7a-style term importances,
+// aligned with FeatureNames.
+func (w *WorkloadEstimator) GlobalImportance() []float64 { return w.model.GlobalImportance() }
+
+// FeatureNames lists the model's input features.
+func (w *WorkloadEstimator) FeatureNames() []string { return w.feat.Names() }
+
+// EvalR2 scores the estimator on a held-out job set (Table 7's metric).
+func (w *WorkloadEstimator) EvalR2(jobs []*job.Job) float64 {
+	EnsureProfiles(jobs)
+	ds := w.feat.Dataset(jobs)
+	pred := mlmodel.PredictAll(w.model, ds.X)
+	return mlmodel.R2(pred, ds.Y)
+}
+
+// EnsureProfiles attaches the ground-truth profile to jobs missing one —
+// legitimate for completed jobs (their run was observable) and for
+// experiment setup.
+func EnsureProfiles(jobs []*job.Job) {
+	for _, j := range jobs {
+		if !j.Profiled {
+			j.Profile = j.Config.Profile()
+			j.Profiled = true
+		}
+	}
+}
+
+// TrainWorkloadEstimatorUnconstrained fits the model without the §3.6.1
+// monotonic constraint — the baseline of the System Tuner's
+// model-troubleshooting comparison.
+func TrainWorkloadEstimatorUnconstrained(history []*job.Job) (*WorkloadEstimator, error) {
+	return trainWorkloadEstimator(history, false)
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config carries Lucid's operator-tunable knobs and the ablation switches
+// the Figure 11 experiments flip.
+type Config struct {
+	// TprofSec is the profiling time limit (default 200, Table 6).
+	TprofSec int64
+	// Nprof is the profiling job-scale limit in GPUs (default 8).
+	Nprof int
+	// GSS is the GPU Sharing Capacity (default 2).
+	GSS int
+	// Thresholds are the (Medium, Tiny) classifier cut points (default
+	// 0.85/0.95, §4.5).
+	Thresholds workload.Thresholds
+	// UpdateIntervalSec is the Update Engine refit period (default weekly;
+	// 0 disables updates — the §4.5(3) "static model" ablation).
+	UpdateIntervalSec int64
+
+	// HeterogeneityAware enables the paper's §6 GPU-generation extension:
+	// jobs with long estimated durations are steered to the newest (fastest)
+	// nodes, short jobs to the oldest, so expensive silicon does the long
+	// work. No effect on homogeneous clusters.
+	HeterogeneityAware bool
+	// FastJobThresholdSec is the estimated duration above which a job
+	// prefers fast nodes (default 2 h).
+	FastJobThresholdSec float64
+
+	// FairnessAgingSec implements the paper's §6 fairness extension: each
+	// second a job waits buys it this many seconds of priority credit, so
+	// long-waiting jobs eventually overtake shorter newcomers. 0 disables
+	// aging (the paper's baseline behaviour). Values around 0.5–2 trade a
+	// little average JCT for much better tail/fairness.
+	FairnessAgingSec float64
+
+	// Ablations (Figure 11a/11b and §4.5):
+	DisableSharing    bool // "w/o Sharing": never pack
+	DisableBinder     bool // "w/o Binder": naive bin-packing, no Indolent rules
+	DisableEstimator  bool // "w/o Estimator": runtime-agnostic ordering
+	DisableSpaceAware bool // profiler FIFO instead of least-GPUs-first
+	DisableTimeAware  bool // static profiler configuration
+	DisableDynamic    bool // fixed GSS regardless of load
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{
+		TprofSec:          200,
+		Nprof:             8,
+		GSS:               2,
+		Thresholds:        workload.DefaultThresholds,
+		UpdateIntervalSec: 7 * 86400,
+	}
+}
+
+// Models bundles Lucid's three interpretable models plus the history they
+// were trained on (the Update Engine refits on history ∪ freshly finished
+// jobs).
+type Models struct {
+	Analyzer   *PackingAnalyzer
+	Estimator  *WorkloadEstimator
+	Throughput *ThroughputModel
+	History    []*job.Job
+}
+
+// TrainModels fits all three models from a history trace (past months of
+// the same cluster) — the setup step the paper performs on April–August
+// data.
+func TrainModels(history *trace.Trace, cfg Config) (*Models, error) {
+	analyzer, err := TrainPackingAnalyzer(cfg.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	est, err := TrainWorkloadEstimator(history.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := TrainThroughputModel(history.Jobs, history.Days)
+	if err != nil {
+		return nil, err
+	}
+	return &Models{Analyzer: analyzer, Estimator: est, Throughput: tp, History: history.Jobs}, nil
+}
+
+// Lucid is the scheduler (Figure 4): Profiler → Binder → Orchestrator,
+// maintained by the Update Engine and tuned by the System Tuner.
+type Lucid struct {
+	cfg      Config
+	models   *Models
+	profiler *Profiler
+	binder   *Binder
+
+	scores     map[int]workload.SharingScore
+	seen       map[int]bool
+	hourCount  float64
+	curHour    int64
+	lastUpdate int64
+}
+
+// New assembles Lucid from trained models and a config.
+func New(models *Models, cfg Config) *Lucid {
+	if cfg.TprofSec <= 0 {
+		cfg.TprofSec = 200
+	}
+	if cfg.Nprof <= 0 {
+		cfg.Nprof = 8
+	}
+	if cfg.GSS <= 0 {
+		cfg.GSS = 2
+	}
+	p := NewProfiler()
+	p.TprofSec = cfg.TprofSec
+	p.tprofNow = cfg.TprofSec
+	p.Nprof = cfg.Nprof
+	p.SpaceAware = !cfg.DisableSpaceAware
+	p.TimeAware = !cfg.DisableTimeAware
+
+	b := NewBinder()
+	b.GSS = cfg.GSS
+	b.Indolent = !cfg.DisableBinder
+	b.TimeAwarePack = !cfg.DisableEstimator
+	if cfg.DisableSharing {
+		b.SetMode(PackDisabled)
+	}
+
+	return &Lucid{
+		cfg:      cfg,
+		models:   models,
+		profiler: p,
+		binder:   b,
+		scores:   map[int]workload.SharingScore{},
+		seen:     map[int]bool{},
+	}
+}
+
+// Name implements sim.Scheduler.
+func (l *Lucid) Name() string { return "Lucid" }
+
+// Binder exposes the binder (tests and the packing-advisor example).
+func (l *Lucid) Binder() *Binder { return l.binder }
+
+// Profiler exposes the profiler (tests and benchmarks).
+func (l *Lucid) Profiler() *Profiler { return l.profiler }
+
+// Tick implements the full Figure 4 workflow.
+func (l *Lucid) Tick(env *sim.Env) {
+	l.observeArrivals(env)
+	l.hourlyMaintenance(env)
+	l.profiler.Step(env, func(j *job.Job) { l.onProfiled(j) })
+	l.orchestrate(env)
+	l.updateEngine(env)
+}
+
+// observeArrivals counts new submissions for the throughput model.
+func (l *Lucid) observeArrivals(env *sim.Env) {
+	for _, j := range env.Pending() {
+		if !l.seen[j.ID] {
+			l.seen[j.ID] = true
+			l.hourCount++
+		}
+	}
+}
+
+// hourlyMaintenance rolls the submission counter into the throughput model
+// and re-derives the Dynamic Strategy and Time-aware Scaling settings.
+func (l *Lucid) hourlyMaintenance(env *sim.Env) {
+	hour := env.Now() / 3600
+	if hour == l.curHour {
+		return
+	}
+	for h := l.curHour; h < hour; h++ {
+		l.models.Throughput.Observe(l.hourCount)
+		l.hourCount = 0
+	}
+	l.curHour = hour
+
+	forecast := l.models.Throughput.ForecastNextHour(int(hour%24), int(hour/24))
+	level := l.models.Throughput.Level(forecast)
+	l.profiler.Retune(level)
+	if !l.cfg.DisableSharing {
+		if l.cfg.DisableDynamic {
+			l.binder.SetMode(PackDefault)
+		} else {
+			l.binder.SetMode(ModeFromLoad(level))
+		}
+	}
+}
+
+// onProfiled classifies a freshly profiled job and refreshes its estimate
+// (the profile adds features the estimator can use).
+func (l *Lucid) onProfiled(j *job.Job) {
+	l.scores[j.ID] = l.models.Analyzer.ScoreJob(j)
+	l.models.Estimator.Invalidate(j.ID)
+}
+
+// priority implements Algorithm 2 line 4: GPU demand × estimated duration.
+// With the estimator ablated, ordering degrades to submission order. The
+// fairness extension subtracts an aging credit proportional to waiting
+// time, bounding starvation of long/large jobs (§6 future work).
+func (l *Lucid) priority(j *job.Job, now int64) float64 {
+	if l.cfg.DisableEstimator {
+		return float64(j.Submit)
+	}
+	p := float64(j.GPUs) * l.models.Estimator.EstimateSec(j)
+	if l.cfg.FairnessAgingSec > 0 {
+		p -= l.cfg.FairnessAgingSec * float64(now-j.Submit)
+	}
+	return p
+}
+
+// remainingEstimate is the binder's time-awareness hook: estimated duration
+// minus observed runtime.
+func (l *Lucid) remainingEstimate(j *job.Job) float64 {
+	rem := l.models.Estimator.EstimateSec(j) - j.RunTime
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// score returns the cached Sharing Score (Jumbo when unknown).
+func (l *Lucid) score(j *job.Job) workload.SharingScore {
+	if s, ok := l.scores[j.ID]; ok {
+		return s
+	}
+	s := l.models.Analyzer.ScoreJob(j)
+	l.scores[j.ID] = s
+	return s
+}
+
+// orchestrate is Algorithm 2: sort the queue by priority ascending, then
+// place with sharing (if enabled) or exclusively.
+func (l *Lucid) orchestrate(env *sim.Env) {
+	var queued []*job.Job
+	for _, j := range env.Pending() {
+		if j.State == job.Queued {
+			queued = append(queued, j)
+		}
+	}
+	if len(queued) == 0 {
+		return
+	}
+	now := env.Now()
+	sort.SliceStable(queued, func(a, b int) bool {
+		pa, pb := l.priority(queued[a], now), l.priority(queued[b], now)
+		if pa != pb {
+			return pa < pb
+		}
+		if queued[a].Submit != queued[b].Submit {
+			return queued[a].Submit < queued[b].Submit
+		}
+		return queued[a].ID < queued[b].ID
+	})
+
+	sharing := !l.cfg.DisableSharing && l.binder.SharingEnabled()
+	var remaining func(*job.Job) float64
+	if !l.cfg.DisableEstimator {
+		remaining = l.remainingEstimate
+	}
+	for _, j := range queued {
+		if sharing {
+			if p := l.binder.FindPartner(env, j, l.score, remaining); p != nil {
+				if env.StartShared(j, p) {
+					continue
+				}
+			}
+		}
+		env.StartExclusivePrefer(j, l.placementPref(j))
+	}
+}
+
+// placementPref steers long jobs to fast GPU generations (§6 extension).
+func (l *Lucid) placementPref(j *job.Job) cluster.Preference {
+	if !l.cfg.HeterogeneityAware || l.cfg.DisableEstimator {
+		return cluster.PreferAny
+	}
+	thr := l.cfg.FastJobThresholdSec
+	if thr <= 0 {
+		thr = 2 * 3600
+	}
+	if l.models.Estimator.EstimateSec(j) >= thr {
+		return cluster.PreferFast
+	}
+	// Short jobs stay indifferent: forcing them onto old nodes would idle
+	// the fast generation whenever long jobs are scarce.
+	return cluster.PreferAny
+}
+
+// updateEngine periodically refits the Workload Estimate Model on the
+// accumulated finished jobs (§3.6.2).
+func (l *Lucid) updateEngine(env *sim.Env) {
+	if l.cfg.UpdateIntervalSec <= 0 {
+		return
+	}
+	if env.Now()-l.lastUpdate < l.cfg.UpdateIntervalSec {
+		return
+	}
+	l.lastUpdate = env.Now()
+	var finished []*job.Job
+	for _, j := range env.AllJobs() {
+		if j.State == job.Finished {
+			finished = append(finished, j)
+		}
+	}
+	if len(finished) < 200 {
+		return // not enough fresh signal to be worth a refit
+	}
+	merged := append(append([]*job.Job(nil), l.models.History...), finished...)
+	// Refit errors leave the previous model in place — the Update Engine
+	// must never take the scheduler down.
+	_ = l.models.Estimator.Update(merged)
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/feat"
+	"repro/internal/ml/dtree"
+	"repro/internal/ml/gam"
+	"repro/internal/workload"
+)
+
+// Bundle persistence: a trained Models set serializes to one JSON document,
+// so the models an operator trained offline (or a previous scheduler
+// instance refined through the Update Engine) deploy without retraining —
+// the low-integration-cost story of A2.
+
+// bundleDTO is the on-disk layout; the three models and the estimator's
+// featurizer are embedded as raw JSON produced by their own Save methods.
+type bundleDTO struct {
+	Thresholds    workload.Thresholds `json:"thresholds"`
+	AnalyzerTree  json.RawMessage     `json:"analyzer_tree"`
+	EstimatorGAM  json.RawMessage     `json:"estimator_gam"`
+	Featurizer    json.RawMessage     `json:"featurizer"`
+	ThroughputGAM json.RawMessage     `json:"throughput_gam"`
+	TPBaseline    float64             `json:"throughput_baseline"`
+	TPRecent      []float64           `json:"throughput_recent"`
+	Monotonic     bool                `json:"monotonic_gpu_num"`
+}
+
+// Save serializes the bundle (History is not persisted — the Update Engine
+// resumes from freshly finished jobs).
+func (m *Models) Save(w io.Writer) error {
+	raw := func(save func(io.Writer) error) (json.RawMessage, error) {
+		var buf bytes.Buffer
+		if err := save(&buf); err != nil {
+			return nil, err
+		}
+		return json.RawMessage(buf.Bytes()), nil
+	}
+	dto := bundleDTO{
+		Thresholds: m.Analyzer.thresholds,
+		TPBaseline: m.Throughput.baseline,
+		TPRecent:   m.Throughput.recent,
+		Monotonic:  m.Estimator.MonotonicGPUNum,
+	}
+	var err error
+	if dto.AnalyzerTree, err = raw(m.Analyzer.tree.Save); err != nil {
+		return fmt.Errorf("core: save analyzer: %w", err)
+	}
+	if dto.EstimatorGAM, err = raw(m.Estimator.model.Save); err != nil {
+		return fmt.Errorf("core: save estimator: %w", err)
+	}
+	if dto.Featurizer, err = raw(m.Estimator.feat.Save); err != nil {
+		return fmt.Errorf("core: save featurizer: %w", err)
+	}
+	if dto.ThroughputGAM, err = raw(m.Throughput.model.Save); err != nil {
+		return fmt.Errorf("core: save throughput: %w", err)
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// LoadModels reads a bundle written by Save.
+func LoadModels(r io.Reader) (*Models, error) {
+	var dto bundleDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("core: load bundle: %w", err)
+	}
+	tree, err := dtree.Load(bytes.NewReader(dto.AnalyzerTree))
+	if err != nil {
+		return nil, fmt.Errorf("core: load analyzer: %w", err)
+	}
+	estGAM, err := gam.Load(bytes.NewReader(dto.EstimatorGAM))
+	if err != nil {
+		return nil, fmt.Errorf("core: load estimator: %w", err)
+	}
+	fz, err := feat.LoadDurationFeaturizer(bytes.NewReader(dto.Featurizer))
+	if err != nil {
+		return nil, fmt.Errorf("core: load featurizer: %w", err)
+	}
+	tpGAM, err := gam.Load(bytes.NewReader(dto.ThroughputGAM))
+	if err != nil {
+		return nil, fmt.Errorf("core: load throughput: %w", err)
+	}
+	return &Models{
+		Analyzer: &PackingAnalyzer{tree: tree, thresholds: dto.Thresholds},
+		Estimator: &WorkloadEstimator{
+			feat:            fz,
+			model:           estGAM,
+			cache:           map[int]float64{},
+			MonotonicGPUNum: dto.Monotonic,
+			params:          estimatorGAMParams(),
+		},
+		Throughput: &ThroughputModel{
+			model:    tpGAM,
+			baseline: dto.TPBaseline,
+			recent:   dto.TPRecent,
+		},
+	}, nil
+}

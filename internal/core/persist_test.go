@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestModelBundleRoundTrip(t *testing.T) {
+	s := trace.Venus()
+	s.NumJobs = 2000
+	g := trace.NewGenerator(s)
+	hist := g.Emit(0)
+	cfg := DefaultConfig()
+	models, err := TrainModels(hist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := models.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Analyzer behaves identically.
+	for _, ex := range probeProfiles() {
+		if loaded.Analyzer.Score(ex) != models.Analyzer.Score(ex) {
+			t.Fatal("analyzer drifted after round trip")
+		}
+	}
+	if loaded.Analyzer.Accuracy() != models.Analyzer.Accuracy() {
+		t.Fatal("analyzer accuracy drifted")
+	}
+
+	// Estimator predicts identically on fresh jobs.
+	probe := g.Emit(50).Jobs
+	EnsureProfiles(probe)
+	for _, j := range probe[:20] {
+		if loaded.Estimator.EstimateSec(j) != models.Estimator.EstimateSec(j) {
+			t.Fatal("estimator drifted after round trip")
+		}
+	}
+
+	// Throughput forecasts identically.
+	if loaded.Throughput.ForecastNextHour(14, 3) != models.Throughput.ForecastNextHour(14, 3) {
+		t.Fatal("throughput model drifted after round trip")
+	}
+	if loaded.Throughput.Baseline() != models.Throughput.Baseline() {
+		t.Fatal("baseline drifted")
+	}
+
+	// A loaded bundle must be able to drive the scheduler.
+	eval := g.Emit(800)
+	lucid := New(loaded, cfg)
+	if lucid == nil {
+		t.Fatal("scheduler construction failed")
+	}
+	_ = eval
+}
+
+func TestLoadModelsRejectsGarbage(t *testing.T) {
+	if _, err := LoadModels(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadModels(strings.NewReader(`{"analyzer_tree":{}}`)); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+// probeProfiles samples a few profiles across the catalog for behavioural
+// equality checks.
+func probeProfiles() []workload.Profile {
+	var out []workload.Profile
+	for i, c := range workload.AllConfigs() {
+		if i%5 == 0 {
+			out = append(out, c.Profile())
+		}
+	}
+	return out
+}

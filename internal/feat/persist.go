@@ -1,0 +1,76 @@
+package feat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON persistence for the duration featurizer: the fitted encoder (name
+// buckets, historical mean encodings) ships with the model it was fitted
+// for, so a deployed scheduler can score jobs without the training logs.
+
+// durationFeaturizerDTO is the on-disk layout.
+type durationFeaturizerDTO struct {
+	IncludeProfile   bool               `json:"include_profile"`
+	MaxNameExemplars int                `json:"max_name_exemplars"`
+	Exemplars        []string           `json:"exemplars"`
+	BaseBucket       map[string]int     `json:"base_bucket"`
+	UserMean         map[string]float64 `json:"user_mean"`
+	TmplMean         map[string]float64 `json:"tmpl_mean"`
+	TmplCount        map[string]float64 `json:"tmpl_count"`
+	GPUMean          map[int]float64    `json:"gpu_mean"`
+	GlobalMean       float64            `json:"global_mean"`
+}
+
+// Save writes the fitted featurizer as JSON.
+func (f *DurationFeaturizer) Save(w io.Writer) error {
+	dto := durationFeaturizerDTO{
+		IncludeProfile:   f.IncludeProfile,
+		MaxNameExemplars: f.MaxNameExemplars,
+		Exemplars:        f.exemplars,
+		BaseBucket:       f.baseBucket,
+		UserMean:         f.userMean,
+		TmplMean:         f.tmplMean,
+		TmplCount:        f.tmplCount,
+		GPUMean:          f.gpuMean,
+		GlobalMean:       f.globalMean,
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// LoadDurationFeaturizer reads a featurizer written by Save.
+func LoadDurationFeaturizer(r io.Reader) (*DurationFeaturizer, error) {
+	var dto durationFeaturizerDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("feat: load featurizer: %w", err)
+	}
+	f := &DurationFeaturizer{
+		IncludeProfile:   dto.IncludeProfile,
+		MaxNameExemplars: dto.MaxNameExemplars,
+		exemplars:        dto.Exemplars,
+		baseBucket:       dto.BaseBucket,
+		userMean:         dto.UserMean,
+		tmplMean:         dto.TmplMean,
+		tmplCount:        dto.TmplCount,
+		gpuMean:          dto.GPUMean,
+		globalMean:       dto.GlobalMean,
+	}
+	// Maps must be non-nil for the lookup paths.
+	if f.baseBucket == nil {
+		f.baseBucket = map[string]int{}
+	}
+	if f.userMean == nil {
+		f.userMean = map[string]float64{}
+	}
+	if f.tmplMean == nil {
+		f.tmplMean = map[string]float64{}
+	}
+	if f.tmplCount == nil {
+		f.tmplCount = map[string]float64{}
+	}
+	if f.gpuMean == nil {
+		f.gpuMean = map[int]float64{}
+	}
+	return f, nil
+}

@@ -1,0 +1,137 @@
+// Package job defines the deep-learning training job model shared by the
+// trace generators, the cluster simulator and every scheduler. A job carries
+// two kinds of information:
+//
+//   - what a scheduler may observe non-intrusively: submission metadata
+//     (name, user, VC, GPU demand, submit time) and — after Lucid's profiler
+//     has run it briefly — the measured resource profile;
+//   - ground truth the simulator alone uses to advance execution: the true
+//     exclusive-execution duration and the underlying workload configuration
+//     that drives the interference model.
+//
+// Baseline schedulers that "cheat" (SJF is explicitly an impractical oracle
+// in the paper) read the ground-truth fields; honest schedulers must not.
+package job
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	// Pending: submitted, not yet running anywhere.
+	Pending State = iota
+	// Profiling: running on the profiling cluster (Lucid only).
+	Profiling
+	// Queued: profiled (or profiling skipped) and waiting for the main
+	// cluster.
+	Queued
+	// Running: executing on the main cluster.
+	Running
+	// Finished: completed.
+	Finished
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "Pending"
+	case Profiling:
+		return "Profiling"
+	case Queued:
+		return "Queued"
+	case Running:
+		return "Running"
+	case Finished:
+		return "Finished"
+	default:
+		return "Unknown"
+	}
+}
+
+// Job is one DL training job.
+type Job struct {
+	ID     int
+	Name   string // job name; recurring jobs reuse names with small edits
+	User   string
+	VC     string
+	GPUs   int   // GPU demand
+	Submit int64 // submission time, seconds since trace start
+
+	// AMP is user-declared (§3.5.1 lists mixed-precision as an optional
+	// job-submission flag), so schedulers may read it pre-profiling.
+	AMP bool
+
+	// Ground truth — simulator only.
+	Duration int64           // exclusive-execution duration in seconds
+	Config   workload.Config // drives the interference model
+
+	// Observable after profiling (or measured on the fly for jobs that skip
+	// profiling).
+	Profiled bool
+	Profile  workload.Profile
+
+	// Runtime accounting, maintained by the simulator.
+	State         State
+	RemainingWork float64 // seconds of exclusive-speed execution left
+	FirstStart    int64   // first time the job ran anywhere (-1 = never)
+	Finish        int64   // completion time (-1 = not finished)
+	RunTime       float64 // accumulated wall-clock seconds spent running
+	Preemptions   int     // times the job was preempted (Tiresias)
+	ColdStart     float64 // seconds of no-progress overhead pending at next start
+	AttainedGPUT  float64 // attained GPU-time service (for LAS schedulers)
+}
+
+// New returns a job initialized with runtime sentinels.
+func New(id int, name, user, vc string, gpus int, submit, duration int64, cfg workload.Config) *Job {
+	return &Job{
+		ID:            id,
+		Name:          name,
+		User:          user,
+		VC:            vc,
+		GPUs:          gpus,
+		Submit:        submit,
+		AMP:           cfg.AMP,
+		Duration:      duration,
+		Config:        cfg,
+		RemainingWork: float64(duration),
+		FirstStart:    -1,
+		Finish:        -1,
+	}
+}
+
+// JCT returns the job completion time (finish − submit); -1 if unfinished.
+func (j *Job) JCT() int64 {
+	if j.Finish < 0 {
+		return -1
+	}
+	return j.Finish - j.Submit
+}
+
+// QueueDelay returns the total time the job spent waiting: JCT minus time
+// actually executing (profiling runs count as executing — the paper credits
+// the profiler with giving debug jobs *immediate* feedback). -1 if
+// unfinished.
+func (j *Job) QueueDelay() int64 {
+	if j.Finish < 0 {
+		return -1
+	}
+	d := j.Finish - j.Submit - int64(j.RunTime+0.5)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Distributed reports whether the job spans more than one 8-GPU node.
+func (j *Job) Distributed() bool { return j.GPUs > 8 }
+
+// String renders a short identity line.
+func (j *Job) String() string {
+	return fmt.Sprintf("job%d(%s/%s gpus=%d dur=%ds)", j.ID, j.User, j.Name, j.GPUs, j.Duration)
+}

@@ -1,0 +1,40 @@
+package lab
+
+import (
+	"repro/internal/feat"
+	"repro/internal/job"
+	"repro/internal/ml/gbdt"
+	"repro/internal/trace"
+)
+
+// GBDTEstimator is the black-box duration model behind QSSF (Helios pairs
+// it with LightGBM) and Horus. It uses the trace features only — no
+// profiled resource features, which is part of Lucid's edge (§4.8).
+type GBDTEstimator struct {
+	feat  *feat.DurationFeaturizer
+	model *gbdt.Model
+	cache map[int]float64
+}
+
+// NewGBDTEstimator trains the model on a history trace.
+func NewGBDTEstimator(hist *trace.Trace) (*GBDTEstimator, error) {
+	f := feat.NewDurationFeaturizer(hist.Jobs, false)
+	m, err := gbdt.Fit(f.Dataset(hist.Jobs), gbdt.LightGBMStyle())
+	if err != nil {
+		return nil, err
+	}
+	return &GBDTEstimator{feat: f, model: m, cache: map[int]float64{}}, nil
+}
+
+// EstimateSec implements sched.Estimator.
+func (e *GBDTEstimator) EstimateSec(j *job.Job) float64 {
+	if v, ok := e.cache[j.ID]; ok {
+		return v
+	}
+	v := e.model.Predict(e.feat.Features(j))
+	if v < 60 {
+		v = 60
+	}
+	e.cache[j.ID] = v
+	return v
+}

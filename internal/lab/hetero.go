@@ -1,0 +1,44 @@
+package lab
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// HeterogeneityStudy evaluates the §6 GPU-generation extension: a Venus
+// cluster where 30 % of every VC's nodes carry a 1.6× faster generation
+// (roughly A100 vs V100), scheduled by Lucid with and without
+// generation-aware placement. Awareness should put the long jobs on fast
+// silicon and cut average JCT.
+func HeterogeneityStudy(scale float64) (string, error) {
+	w, err := BuildWorld(trace.Venus(), scale)
+	if err != nil {
+		return "", err
+	}
+	// Make the evaluation cluster heterogeneous.
+	hetero := *w.Eval
+	hetero.Cluster.FastNodesFrac = 0.3
+	hetero.Cluster.FastSpeed = 1.6
+	heteroWorld := *w
+	heteroWorld.Eval = &hetero
+
+	var tb [][]string
+	for _, c := range []struct {
+		name  string
+		aware bool
+	}{{"Lucid (generation-blind)", false}, {"Lucid (generation-aware)", true}} {
+		cfg := core.DefaultConfig()
+		cfg.HeterogeneityAware = c.aware
+		res := heteroWorld.Run(NamedRun{c.name, core.New(w.Models, cfg), LucidOpts(w.Spec)})
+		lj, _, sj, _ := res.ScaleStats()
+		tb = append(tb, []string{c.name,
+			fmt.Sprintf("%.0f", res.AvgJCTSec),
+			fmt.Sprintf("%.0f", res.AvgQueueSec),
+			fmt.Sprintf("%.0f", lj),
+			fmt.Sprintf("%.0f", sj)})
+	}
+	return "§6 extension — heterogeneous GPU generations (30% of nodes at 1.6×)\n" +
+		table([]string{"variant", "avg JCT(s)", "avg queue(s)", "large-job JCT(s)", "small-job JCT(s)"}, tb), nil
+}

@@ -1,0 +1,171 @@
+// Package lab is the experiment harness: one function per table and figure
+// of the paper's evaluation (§4), each regenerating the artifact's rows or
+// series from this repository's substrates. cmd/lucidbench and the root
+// bench_test.go are thin wrappers over this package; EXPERIMENTS.md records
+// the outputs next to the paper's numbers.
+//
+// Every experiment accepts a Scale in (0, 1] that subsamples the trace job
+// counts so the full suite can run quickly in CI (Scale 1.0 reproduces the
+// Table 2 workload sizes).
+package lab
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// World is a prepared evaluation context for one cluster: a history month
+// (model training data), an evaluation month, and the trained Lucid models.
+type World struct {
+	Spec    trace.GenSpec
+	History *trace.Trace
+	Eval    *trace.Trace
+	Models  *core.Models
+	// Estimator is the black-box GBDT duration model QSSF and Horus use
+	// (their papers use LightGBM-family models).
+	Estimator sched.Estimator
+}
+
+// BuildWorld generates traces and trains models for one trace spec at the
+// given scale. Scaling shrinks the job count AND the cluster together, so
+// the offered-load profile — and therefore the queueing behaviour the
+// schedulers differ on — matches the full-size trace. Scale 1.0 reproduces
+// the Table 2 configuration exactly.
+func BuildWorld(spec trace.GenSpec, scale float64) (*World, error) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	n := int(float64(spec.NumJobs) * scale)
+	if n < 500 {
+		n = 500
+	}
+	if scale < 1 {
+		nodes := int(float64(spec.Nodes) * float64(n) / float64(spec.NumJobs))
+		if nodes < 4 {
+			nodes = 4
+		}
+		// Preserve the nodes-per-VC ratio so scaled VCs keep realistic
+		// capacity for multi-GPU jobs.
+		perVC := spec.Nodes / spec.NumVCs
+		if perVC < 1 {
+			perVC = 1
+		}
+		// Keep enough VCs for the load skew that drives queueing; a
+		// single-VC original (Philly) stays single-VC.
+		minVCs := spec.NumVCs
+		if minVCs > 4 {
+			minVCs = 4
+		}
+		spec.Nodes = nodes
+		spec.NumVCs = nodes / perVC
+		if spec.NumVCs < minVCs {
+			spec.NumVCs = minVCs
+		}
+		if spec.NumVCs > nodes/2 {
+			spec.NumVCs = nodes / 2
+		}
+		if spec.NumVCs < 1 {
+			spec.NumVCs = 1
+		}
+	}
+	g := trace.NewGenerator(spec)
+	hist := g.Emit(n)
+	eval := g.Emit(n)
+
+	cfg := core.DefaultConfig()
+	models, err := core.TrainModels(hist, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %s: %w", spec.Name, err)
+	}
+	est, err := NewGBDTEstimator(hist)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %s: %w", spec.Name, err)
+	}
+	return &World{Spec: spec, History: hist, Eval: eval, Models: models, Estimator: est}, nil
+}
+
+// SimOpts are the standard large-scale simulation options.
+func SimOpts() sim.Options {
+	return sim.Options{Tick: 60, SchedulerEvery: 60}
+}
+
+// LucidOpts adds the profiling partition (scaled with the cluster: ~2 % of
+// nodes, at least 2).
+func LucidOpts(spec trace.GenSpec) sim.Options {
+	o := SimOpts()
+	o.ProfilerNodes = spec.Nodes / 33
+	if o.ProfilerNodes < 2 {
+		o.ProfilerNodes = 2
+	}
+	return o
+}
+
+// Schedulers instantiates the §4.1 baseline set plus Lucid for a world, in
+// the paper's presentation order.
+func (w *World) Schedulers() []NamedRun {
+	cfg := core.DefaultConfig()
+	return []NamedRun{
+		{"FIFO", sched.NewFIFO(), SimOpts()},
+		{"SJF", sched.NewSJF(), SimOpts()},
+		{"QSSF", sched.NewQSSF(w.Estimator), SimOpts()},
+		{"Horus", sched.NewHorus(w.Estimator, w.Spec.Seed), SimOpts()},
+		{"Tiresias", sched.NewTiresias(), SimOpts()},
+		{"Lucid", core.New(w.Models, cfg), LucidOpts(w.Spec)},
+	}
+}
+
+// NamedRun pairs a scheduler with its simulation options.
+type NamedRun struct {
+	Name  string
+	Sched sim.Scheduler
+	Opts  sim.Options
+}
+
+// Run executes one scheduler over the world's evaluation trace.
+func (w *World) Run(nr NamedRun) *sim.Result {
+	return sim.New(w.Eval, nr.Sched, nr.Opts).Run()
+}
+
+// RunAll executes the full scheduler set.
+func (w *World) RunAll() map[string]*sim.Result {
+	out := map[string]*sim.Result{}
+	for _, nr := range w.Schedulers() {
+		out[nr.Name] = w.Run(nr)
+	}
+	return out
+}
+
+// SchedulerOrder is the canonical presentation order.
+var SchedulerOrder = []string{"FIFO", "SJF", "QSSF", "Horus", "Tiresias", "Lucid"}
+
+// table renders a simple aligned text table.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return sb.String()
+}

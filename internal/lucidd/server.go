@@ -1,0 +1,221 @@
+// Package lucidd implements the HTTP control plane behind cmd/lucidd: a
+// deployable skeleton of Lucid's non-intrusive workflow. Users submit job
+// metadata, node agents push NVIDIA-SMI-style metric samples, and the
+// server maintains profiles, Sharing Scores, duration estimates and a
+// priority-ordered queue — all without ever touching user training code,
+// which is the paper's A1/A2 deployment story.
+package lucidd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// jobState is the server's view of one registered job.
+type jobState struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name"`
+	User    string  `json:"user"`
+	VC      string  `json:"vc"`
+	GPUs    int     `json:"gpus"`
+	AMP     bool    `json:"amp"`
+	Samples int     `json:"samples"`
+	Profile profile `json:"profile"`
+	Score   string  `json:"score"`
+	EstSec  float64 `json:"estimate_sec"`
+}
+
+// profile mirrors the three non-intrusive metrics.
+type profile struct {
+	GPUUtil    float64 `json:"gpu_util"`
+	GPUMemMB   float64 `json:"gpu_mem_mb"`
+	GPUMemUtil float64 `json:"gpu_mem_util"`
+}
+
+// minSamples before a job is considered profiled.
+const minSamples = 3
+
+// Server is the HTTP control plane.
+type Server struct {
+	mu       sync.Mutex
+	nextID   int
+	jobs     map[int]*jobState
+	analyzer *core.PackingAnalyzer
+	est      *core.WorkloadEstimator
+	mux      *http.ServeMux
+}
+
+// NewServer trains the interpretable models (on a synthetic history month,
+// standing in for the operator's real logs) and wires the routes.
+func NewServer() (*Server, error) {
+	analyzer, err := core.TrainPackingAnalyzer(workload.DefaultThresholds)
+	if err != nil {
+		return nil, err
+	}
+	spec := trace.Venus()
+	spec.NumJobs = 3000
+	hist := trace.NewGenerator(spec).Emit(0)
+	est, err := core.TrainWorkloadEstimator(hist.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		nextID:   1,
+		jobs:     map[int]*jobState{},
+		analyzer: analyzer,
+		est:      est,
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/models/packing", s.handlePackingModel)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleJobs registers a job (POST) or lists jobs (GET).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req struct {
+			Name string `json:"name"`
+			User string `json:"user"`
+			VC   string `json:"vc"`
+			GPUs int    `json:"gpus"`
+			AMP  bool   `json:"amp"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Name == "" || req.GPUs <= 0 {
+			http.Error(w, "name and positive gpus required", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		id := s.nextID
+		s.nextID++
+		js := &jobState{ID: id, Name: req.Name, User: req.User, VC: req.VC,
+			GPUs: req.GPUs, AMP: req.AMP, Score: workload.Jumbo.String()}
+		s.jobs[id] = js
+		s.refreshLocked(js)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, js)
+	case http.MethodGet:
+		s.mu.Lock()
+		out := s.snapshotLocked()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, out)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleMetrics ingests one NVIDIA-SMI-style sample.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Job        int     `json:"job"`
+		GPUUtil    float64 `json:"gpu_util"`
+		GPUMemMB   float64 `json:"gpu_mem_mb"`
+		GPUMemUtil float64 `json:"gpu_mem_util"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[req.Job]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
+		return
+	}
+	// Running mean over samples — what a DCGM poller would maintain.
+	n := float64(js.Samples)
+	js.Profile.GPUUtil = (js.Profile.GPUUtil*n + req.GPUUtil) / (n + 1)
+	js.Profile.GPUMemMB = (js.Profile.GPUMemMB*n + req.GPUMemMB) / (n + 1)
+	js.Profile.GPUMemUtil = (js.Profile.GPUMemUtil*n + req.GPUMemUtil) / (n + 1)
+	js.Samples++
+	s.refreshLocked(js)
+	writeJSON(w, http.StatusOK, js)
+}
+
+// refreshLocked recomputes score and estimate from the current state.
+func (s *Server) refreshLocked(js *jobState) {
+	j := job.New(js.ID, js.Name, js.User, js.VC, js.GPUs, 0, 0, workload.Config{})
+	j.AMP = js.AMP
+	if js.Samples >= minSamples {
+		j.Profiled = true
+		j.Profile = workload.Profile{
+			GPUUtil:    js.Profile.GPUUtil,
+			GPUMemMB:   js.Profile.GPUMemMB,
+			GPUMemUtil: js.Profile.GPUMemUtil,
+			AMP:        js.AMP,
+		}
+	}
+	js.Score = s.analyzer.ScoreJob(j).String()
+	s.est.Invalidate(j.ID)
+	js.EstSec = s.est.EstimateSec(j)
+}
+
+// handleSchedule returns the queue in Lucid priority order
+// (GPUs × estimated duration, ascending — Algorithm 2).
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	out := s.snapshotLocked()
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		pi := float64(out[i].GPUs) * out[i].EstSec
+		pj := float64(out[j].GPUs) * out[j].EstSec
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i].ID < out[j].ID
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePackingModel renders the decision tree (system transparency, A5).
+func (s *Server) handlePackingModel(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.analyzer.Render())
+	imp := s.analyzer.FeatureImportances()
+	for i, name := range s.analyzer.FeatureNames() {
+		fmt.Fprintf(w, "importance %-36s %.3f\n", name, imp[i])
+	}
+}
+
+func (s *Server) snapshotLocked() []*jobState {
+	out := make([]*jobState, 0, len(s.jobs))
+	for _, js := range s.jobs {
+		cp := *js
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,135 @@
+package lucidd
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// newTestServer shares one trained server across tests (training is the
+// slow part).
+var (
+	once    sync.Once
+	shared  *Server
+	initErr error
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	once.Do(func() { shared, initErr = NewServer() })
+	if initErr != nil {
+		t.Fatal(initErr)
+	}
+	return shared
+}
+
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewBufferString(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestJobRegistration(t *testing.T) {
+	s := testServer(t)
+	rec := do(t, s, http.MethodPost, "/jobs", `{"name":"train-v1","user":"alice","vc":"vc0","gpus":2}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var js jobState
+	if err := json.Unmarshal(rec.Body.Bytes(), &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.ID == 0 || js.Score != "Jumbo" {
+		t.Fatalf("new job should be conservatively Jumbo: %+v", js)
+	}
+	if js.EstSec <= 0 {
+		t.Fatalf("estimate missing: %+v", js)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	s := testServer(t)
+	if rec := do(t, s, http.MethodPost, "/jobs", `{"name":"","gpus":0}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty job accepted: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodPost, "/jobs", `not-json`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage accepted: %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodDelete, "/jobs", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE allowed: %d", rec.Code)
+	}
+}
+
+func TestMetricsIngestionFlipsScore(t *testing.T) {
+	s := testServer(t)
+	rec := do(t, s, http.MethodPost, "/jobs", `{"name":"ppo-run","user":"bob","vc":"vc0","gpus":1}`)
+	var js jobState
+	json.Unmarshal(rec.Body.Bytes(), &js)
+
+	// Three PPO-like samples (near idle): score must become Tiny.
+	for i := 0; i < 3; i++ {
+		rec = do(t, s, http.MethodPost, "/metrics",
+			`{"job":`+itoa(js.ID)+`,"gpu_util":11,"gpu_mem_mb":1200,"gpu_mem_util":7}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("metrics rejected: %d %s", rec.Code, rec.Body)
+		}
+	}
+	var updated jobState
+	json.Unmarshal(rec.Body.Bytes(), &updated)
+	if updated.Samples != 3 {
+		t.Fatalf("samples = %d", updated.Samples)
+	}
+	if updated.Score != "Tiny" {
+		t.Fatalf("near-idle job scored %q, want Tiny", updated.Score)
+	}
+}
+
+func TestMetricsUnknownJob(t *testing.T) {
+	s := testServer(t)
+	rec := do(t, s, http.MethodPost, "/metrics", `{"job":99999,"gpu_util":50}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown job accepted: %d", rec.Code)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := testServer(t)
+	rec := do(t, s, http.MethodGet, "/schedule", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("schedule status %d", rec.Code)
+	}
+	var jobs []jobState
+	if err := json.Unmarshal(rec.Body.Bytes(), &jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(jobs); i++ {
+		pi := float64(jobs[i-1].GPUs) * jobs[i-1].EstSec
+		pj := float64(jobs[i].GPUs) * jobs[i].EstSec
+		if pi > pj {
+			t.Fatalf("schedule not priority-ordered at %d: %v > %v", i, pi, pj)
+		}
+	}
+}
+
+func TestPackingModelEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := do(t, s, http.MethodGet, "/models/packing", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "GPU Utilization") || !strings.Contains(body, "importance") {
+		t.Fatalf("model rendering missing content:\n%s", body)
+	}
+}
+
+func itoa(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

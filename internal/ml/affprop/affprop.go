@@ -1,0 +1,223 @@
+// Package affprop implements Affinity Propagation clustering (Frey & Dueck
+// 2007, the paper's citation [27]). Lucid uses it to bucketize job names
+// whose pairwise Levenshtein similarities are known (§3.5.3): the algorithm
+// picks exemplar names by message passing and assigns every other name to
+// its nearest exemplar, with no need to choose the cluster count up front.
+package affprop
+
+// Params controls the message-passing loop.
+type Params struct {
+	Damping    float64 // responsibility/availability damping (default 0.7)
+	MaxIter    int     // iteration cap (default 200)
+	Stable     int     // stop after this many iterations without exemplar change (default 20)
+	Preference float64 // self-similarity; 0 means "use the median similarity"
+	HasPref    bool    // set true to honor Preference (0 is a legal value)
+}
+
+func (p Params) normalized() Params {
+	if p.Damping <= 0 || p.Damping >= 1 {
+		p.Damping = 0.7
+	}
+	if p.MaxIter <= 0 {
+		p.MaxIter = 200
+	}
+	if p.Stable <= 0 {
+		p.Stable = 20
+	}
+	return p
+}
+
+// Cluster runs affinity propagation over a dense similarity matrix
+// (s[i][j] = similarity of i to j; higher is more similar) and returns the
+// exemplar index assigned to each point. Points that end up their own
+// exemplar are cluster centers. An empty input yields an empty result.
+func Cluster(s [][]float64, p Params) []int {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	p = p.normalized()
+
+	// Working copy with preferences on the diagonal.
+	pref := p.Preference
+	if !p.HasPref {
+		pref = medianOffDiagonal(s)
+	}
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+		copy(sim[i], s[i])
+		sim[i][i] = pref
+	}
+	// Degeneracy breaker (Frey & Dueck's standard fix): perfectly symmetric
+	// similarities make message passing oscillate between equally good
+	// exemplars. A tiny deterministic jitter removes the ties without
+	// affecting real structure.
+	for i := range sim {
+		for j := range sim[i] {
+			h := uint64(i*2654435761) ^ uint64(j*40503)
+			h = (h ^ (h >> 13)) * 0x9e3779b97f4a7c15
+			sim[i][j] += (float64(h%1000)/1000 - 0.5) * 1e-7
+		}
+	}
+
+	r := newMatrix(n) // responsibilities
+	a := newMatrix(n) // availabilities
+
+	assign := func() []int {
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			best, bi := negInf, i
+			for k := 0; k < n; k++ {
+				if v := a[i][k] + r[i][k]; v > best {
+					best, bi = v, k
+				}
+			}
+			out[i] = bi
+		}
+		// Make assignments consistent: points assigned to a non-exemplar get
+		// re-pointed at that point's own exemplar choice; exemplars point at
+		// themselves.
+		for i := 0; i < n; i++ {
+			e := out[i]
+			if out[e] != e {
+				// e declined to be an exemplar; fall back to self or e's
+				// exemplar.
+				out[i] = out[e]
+			}
+		}
+		return out
+	}
+
+	var prev []int
+	stable := 0
+	for iter := 0; iter < p.MaxIter; iter++ {
+		// Update responsibilities.
+		for i := 0; i < n; i++ {
+			// Find the top-2 values of a[i][k] + s[i][k].
+			max1, max2 := negInf, negInf
+			arg1 := -1
+			for k := 0; k < n; k++ {
+				v := a[i][k] + sim[i][k]
+				if v > max1 {
+					max2 = max1
+					max1, arg1 = v, k
+				} else if v > max2 {
+					max2 = v
+				}
+			}
+			for k := 0; k < n; k++ {
+				cmp := max1
+				if k == arg1 {
+					cmp = max2
+				}
+				nv := sim[i][k] - cmp
+				r[i][k] = p.Damping*r[i][k] + (1-p.Damping)*nv
+			}
+		}
+		// Update availabilities.
+		for k := 0; k < n; k++ {
+			sumPos := 0.0
+			for i := 0; i < n; i++ {
+				if i != k && r[i][k] > 0 {
+					sumPos += r[i][k]
+				}
+			}
+			for i := 0; i < n; i++ {
+				var nv float64
+				if i == k {
+					nv = sumPos
+				} else {
+					v := r[k][k] + sumPos
+					if r[i][k] > 0 {
+						v -= r[i][k]
+					}
+					if v > 0 {
+						v = 0
+					}
+					nv = v
+				}
+				a[i][k] = p.Damping*a[i][k] + (1-p.Damping)*nv
+			}
+		}
+
+		cur := assign()
+		if prev != nil && equal(cur, prev) {
+			stable++
+			if stable >= p.Stable {
+				return cur
+			}
+		} else {
+			stable = 0
+		}
+		prev = cur
+	}
+	return assign()
+}
+
+const negInf = -1e300
+
+func newMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	buf := make([]float64, n*n)
+	for i := range m {
+		m[i] = buf[i*n : (i+1)*n]
+	}
+	return m
+}
+
+func medianOffDiagonal(s [][]float64) float64 {
+	var vals []float64
+	for i := range s {
+		for j := range s[i] {
+			if i != j {
+				vals = append(vals, s[i][j])
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	// Insertion-sort-free selection: simple sort is fine at these sizes.
+	sortFloats(vals)
+	return vals[len(vals)/2]
+}
+
+func sortFloats(v []float64) {
+	// Shell sort: no dependency on package sort for a tiny helper, and
+	// stable behaviour on the small slices we feed it.
+	for gap := len(v) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(v); i++ {
+			t := v[i]
+			j := i
+			for ; j >= gap && v[j-gap] > t; j -= gap {
+				v[j] = v[j-gap]
+			}
+			v[j] = t
+		}
+	}
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumClusters counts distinct exemplars in an assignment.
+func NumClusters(assign []int) int {
+	seen := map[int]bool{}
+	for _, e := range assign {
+		seen[e] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,102 @@
+package affprop
+
+import (
+	"testing"
+
+	"repro/internal/ml/textdist"
+)
+
+// twoBlobSimilarity builds a similarity matrix with two obvious groups.
+func twoBlobSimilarity() [][]float64 {
+	// Points 0-2 are one blob, 3-5 the other.
+	coords := []float64{0, 0.1, 0.2, 10, 10.1, 10.2}
+	n := len(coords)
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			d := coords[i] - coords[j]
+			s[i][j] = -d * d // negative squared distance, the standard choice
+		}
+	}
+	return s
+}
+
+func TestTwoBlobsTwoClusters(t *testing.T) {
+	assign := Cluster(twoBlobSimilarity(), Params{})
+	if len(assign) != 6 {
+		t.Fatalf("assignment length %d", len(assign))
+	}
+	if NumClusters(assign) != 2 {
+		t.Fatalf("expected 2 clusters, got %d (%v)", NumClusters(assign), assign)
+	}
+	// Group membership must respect the blobs.
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("first blob split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Fatalf("second blob split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Fatalf("blobs merged: %v", assign)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if got := Cluster(nil, Params{}); got != nil {
+		t.Fatal("nil input should yield nil")
+	}
+	if got := Cluster([][]float64{{0}}, Params{}); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single point: %v", got)
+	}
+}
+
+func TestJobNameBucketization(t *testing.T) {
+	// The §3.5.3 use case: recurring job names cluster together.
+	names := []string{
+		"train_resnet_v1", "train_resnet_v2", "train_resnet_v3",
+		"bert_finetune_a", "bert_finetune_b",
+		"dbg",
+	}
+	n := len(names)
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			s[i][j] = textdist.Similarity(names[i], names[j])
+		}
+	}
+	assign := Cluster(s, Params{})
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("resnet names split: %v", assign)
+	}
+	if assign[3] != assign[4] {
+		t.Fatalf("bert names split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Fatalf("resnet and bert merged: %v", assign)
+	}
+}
+
+func TestPreferenceControlsGranularity(t *testing.T) {
+	s := twoBlobSimilarity()
+	// A very high preference makes every point its own exemplar.
+	fine := Cluster(s, Params{Preference: 10, HasPref: true})
+	if NumClusters(fine) != len(s) {
+		t.Fatalf("high preference should give singleton clusters, got %d", NumClusters(fine))
+	}
+	// A very low preference collapses everything.
+	coarse := Cluster(s, Params{Preference: -1e6, HasPref: true})
+	if NumClusters(coarse) != 1 {
+		t.Fatalf("low preference should give one cluster, got %d", NumClusters(coarse))
+	}
+}
+
+func TestExemplarsAreSelfAssigned(t *testing.T) {
+	assign := Cluster(twoBlobSimilarity(), Params{})
+	for i, e := range assign {
+		if assign[e] != e {
+			t.Fatalf("point %d assigned to non-exemplar %d (%v)", i, e, assign)
+		}
+	}
+}

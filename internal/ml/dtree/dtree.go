@@ -1,0 +1,533 @@
+// Package dtree implements CART decision trees — the model behind Lucid's
+// Packing Analyze Model (§3.5.1, Figure 6). Classification trees split on
+// Gini impurity, regression trees on variance. Minimal cost-complexity
+// pruning (Breiman et al. 1984, the paper's citation [14]) compacts the
+// learned tree, Gini feature importances reproduce the right panel of
+// Figure 6, and Render prints the tree itself — the interpretability story.
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/ml/mlmodel"
+	"repro/internal/xrand"
+)
+
+// Params controls tree growth.
+type Params struct {
+	MaxDepth       int // 0 means unlimited
+	MinSamplesLeaf int // minimum rows per leaf (≥1)
+	MinSamplesplit int // minimum rows to attempt a split (≥2)
+
+	// MaxFeatures, when >0, samples that many candidate features per split
+	// (random-forest style). Requires RNG.
+	MaxFeatures int
+	RNG         *xrand.RNG
+}
+
+func (p Params) normalized() Params {
+	if p.MinSamplesLeaf < 1 {
+		p.MinSamplesLeaf = 1
+	}
+	if p.MinSamplesplit < 2 {
+		p.MinSamplesplit = 2
+	}
+	return p
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+
+	// Leaf payload / node statistics.
+	nSamples int
+	impurity float64   // Gini (classification) or variance (regression)
+	value    float64   // regression mean
+	counts   []float64 // classification class histogram (nil for regression)
+	class    int       // majority class
+}
+
+func (n *node) isLeaf() bool { return n.feature < 0 }
+
+// Tree is a trained CART tree usable as a classifier or regressor depending
+// on how it was fit.
+type Tree struct {
+	root       *node
+	numClasses int // 0 for regression
+	names      []string
+	totalRows  int
+}
+
+// FitClassifier grows a classification tree on integer labels in
+// [0, numClasses).
+func FitClassifier(ds *mlmodel.Dataset, numClasses int, p Params) (*Tree, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("dtree: empty dataset")
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("dtree: need ≥2 classes, got %d", numClasses)
+	}
+	for i, y := range ds.Y {
+		c := int(y)
+		if float64(c) != y || c < 0 || c >= numClasses {
+			return nil, fmt.Errorf("dtree: row %d label %v not an int in [0,%d)", i, y, numClasses)
+		}
+	}
+	b := &builder{ds: ds, p: p.normalized(), numClasses: numClasses}
+	t := &Tree{root: b.build(allIdx(ds.Len()), 0), numClasses: numClasses, names: ds.Names, totalRows: ds.Len()}
+	return t, nil
+}
+
+// FitRegressor grows a regression tree.
+func FitRegressor(ds *mlmodel.Dataset, p Params) (*Tree, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("dtree: empty dataset")
+	}
+	b := &builder{ds: ds, p: p.normalized()}
+	t := &Tree{root: b.build(allIdx(ds.Len()), 0), names: ds.Names, totalRows: ds.Len()}
+	return t, nil
+}
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+type builder struct {
+	ds         *mlmodel.Dataset
+	p          Params
+	numClasses int // 0 → regression
+}
+
+func (b *builder) leaf(idx []int) *node {
+	n := &node{feature: -1, nSamples: len(idx)}
+	if b.numClasses > 0 {
+		n.counts = make([]float64, b.numClasses)
+		for _, i := range idx {
+			n.counts[int(b.ds.Y[i])]++
+		}
+		n.impurity = gini(n.counts, float64(len(idx)))
+		n.class = argmax(n.counts)
+		n.value = float64(n.class)
+	} else {
+		sum := 0.0
+		for _, i := range idx {
+			sum += b.ds.Y[i]
+		}
+		mean := sum / float64(len(idx))
+		v := 0.0
+		for _, i := range idx {
+			d := b.ds.Y[i] - mean
+			v += d * d
+		}
+		n.value = mean
+		n.impurity = v / float64(len(idx))
+	}
+	return n
+}
+
+func (b *builder) build(idx []int, depth int) *node {
+	n := b.leaf(idx)
+	if len(idx) < b.p.MinSamplesplit || n.impurity == 0 {
+		return n
+	}
+	if b.p.MaxDepth > 0 && depth >= b.p.MaxDepth {
+		return n
+	}
+	feat, thr, gain := b.bestSplit(idx, n.impurity)
+	if feat < 0 || gain <= 1e-12 {
+		return n
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if b.ds.X[i][feat] <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < b.p.MinSamplesLeaf || len(ri) < b.p.MinSamplesLeaf {
+		return n
+	}
+	n.feature = feat
+	n.threshold = thr
+	n.left = b.build(li, depth+1)
+	n.right = b.build(ri, depth+1)
+	return n
+}
+
+// bestSplit scans candidate features for the impurity-minimizing threshold.
+func (b *builder) bestSplit(idx []int, parentImp float64) (feat int, thr, gain float64) {
+	nf := b.ds.NumFeatures()
+	feats := make([]int, nf)
+	for i := range feats {
+		feats[i] = i
+	}
+	if b.p.MaxFeatures > 0 && b.p.MaxFeatures < nf && b.p.RNG != nil {
+		b.p.RNG.Shuffle(nf, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:b.p.MaxFeatures]
+	}
+
+	feat = -1
+	order := make([]int, len(idx))
+	for _, f := range feats {
+		copy(order, idx)
+		sort.Slice(order, func(i, j int) bool { return b.ds.X[order[i]][f] < b.ds.X[order[j]][f] })
+		g, t, ok := b.scanFeature(order, f, parentImp)
+		if ok && g > gain {
+			gain, thr, feat = g, t, f
+		}
+	}
+	return feat, thr, gain
+}
+
+func (b *builder) scanFeature(order []int, f int, parentImp float64) (bestGain, bestThr float64, ok bool) {
+	n := len(order)
+	if b.numClasses > 0 {
+		left := make([]float64, b.numClasses)
+		right := make([]float64, b.numClasses)
+		for _, i := range order {
+			right[int(b.ds.Y[i])]++
+		}
+		for i := 0; i < n-1; i++ {
+			c := int(b.ds.Y[order[i]])
+			left[c]++
+			right[c]--
+			if b.ds.X[order[i]][f] == b.ds.X[order[i+1]][f] {
+				continue // cannot split between equal values
+			}
+			nl, nr := float64(i+1), float64(n-i-1)
+			if int(nl) < b.p.MinSamplesLeaf || int(nr) < b.p.MinSamplesLeaf {
+				continue
+			}
+			imp := (nl*gini(left, nl) + nr*gini(right, nr)) / float64(n)
+			if g := parentImp - imp; g > bestGain {
+				bestGain = g
+				bestThr = (b.ds.X[order[i]][f] + b.ds.X[order[i+1]][f]) / 2
+				ok = true
+			}
+		}
+		return bestGain, bestThr, ok
+	}
+
+	// Regression: running sums for O(1) variance updates.
+	var sumL, sumSqL, sumR, sumSqR float64
+	for _, i := range order {
+		y := b.ds.Y[i]
+		sumR += y
+		sumSqR += y * y
+	}
+	for i := 0; i < n-1; i++ {
+		y := b.ds.Y[order[i]]
+		sumL += y
+		sumSqL += y * y
+		sumR -= y
+		sumSqR -= y * y
+		if b.ds.X[order[i]][f] == b.ds.X[order[i+1]][f] {
+			continue
+		}
+		nl, nr := float64(i+1), float64(n-i-1)
+		if int(nl) < b.p.MinSamplesLeaf || int(nr) < b.p.MinSamplesLeaf {
+			continue
+		}
+		varL := sumSqL/nl - (sumL/nl)*(sumL/nl)
+		varR := sumSqR/nr - (sumR/nr)*(sumR/nr)
+		imp := (nl*varL + nr*varR) / float64(n)
+		if g := parentImp - imp; g > bestGain {
+			bestGain = g
+			bestThr = (b.ds.X[order[i]][f] + b.ds.X[order[i+1]][f]) / 2
+			ok = true
+		}
+	}
+	return bestGain, bestThr, ok
+}
+
+func gini(counts []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / total
+		g -= p * p
+	}
+	return g
+}
+
+func argmax(xs []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range xs {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// Predict returns the regression prediction (or the majority class as a
+// float for classification trees).
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.descend(x)
+	if t.numClasses > 0 {
+		return float64(n.class)
+	}
+	return n.value
+}
+
+// PredictClass returns the majority class at the reached leaf.
+func (t *Tree) PredictClass(x []float64) int { return t.descend(x).class }
+
+// PredictProba returns per-class probabilities at the reached leaf
+// (classification trees only; nil otherwise).
+func (t *Tree) PredictProba(x []float64) []float64 {
+	if t.numClasses == 0 {
+		return nil
+	}
+	n := t.descend(x)
+	out := make([]float64, t.numClasses)
+	total := 0.0
+	for _, c := range n.counts {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for i, c := range n.counts {
+		out[i] = c / total
+	}
+	return out
+}
+
+func (t *Tree) descend(x []float64) *node {
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int { return countLeaves(t.root) }
+
+// Depth returns the maximum depth (a lone root counts as 0).
+func (t *Tree) Depth() int { return depth(t.root) - 1 }
+
+func countLeaves(n *node) int {
+	if n.isLeaf() {
+		return 1
+	}
+	return countLeaves(n.left) + countLeaves(n.right)
+}
+
+func depth(n *node) int {
+	if n.isLeaf() {
+		return 1
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// FeatureImportances returns normalized Gini/variance importances (they sum
+// to 1 unless the tree is a single leaf) — the right panel of Figure 6.
+func (t *Tree) FeatureImportances() []float64 {
+	nf := 0
+	if t.names != nil {
+		nf = len(t.names)
+	} else {
+		nf = maxFeature(t.root) + 1
+	}
+	imp := make([]float64, nf)
+	total := float64(t.totalRows)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.isLeaf() {
+			return
+		}
+		nd := float64(n.nSamples)
+		if n.nSamples == 0 {
+			nd = float64(n.left.nSamples + n.right.nSamples)
+		}
+		nl, nr := float64(n.left.nSamples), float64(n.right.nSamples)
+		gain := nd*n.impurity - nl*n.left.impurity - nr*n.right.impurity
+		if gain > 0 {
+			imp[n.feature] += gain / total
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	// Root nSamples was set by leaf(); internal nodes keep their stats
+	// because build() mutates the leaf node into an internal one.
+	walk(t.root)
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp
+}
+
+func maxFeature(n *node) int {
+	if n.isLeaf() {
+		return -1
+	}
+	m := n.feature
+	if l := maxFeature(n.left); l > m {
+		m = l
+	}
+	if r := maxFeature(n.right); r > m {
+		m = r
+	}
+	return m
+}
+
+// PruneCCP applies minimal cost-complexity pruning: every internal node
+// whose effective alpha g(t) = (R(t) − R(T_t)) / (|leaves(T_t)| − 1) is at
+// most alpha collapses to a leaf, weakest links first. R uses
+// sample-weighted impurity. alpha = 0 only removes splits that do not reduce
+// risk at all.
+func (t *Tree) PruneCCP(alpha float64) {
+	for {
+		weakest, g := weakestLink(t.root, float64(t.totalRows))
+		if weakest == nil || g > alpha {
+			return
+		}
+		collapse(weakest)
+	}
+}
+
+// weakestLink finds the internal node with the smallest effective alpha.
+func weakestLink(root *node, total float64) (*node, float64) {
+	var best *node
+	bestG := math.Inf(1)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.isLeaf() {
+			return
+		}
+		rNode := float64(n.nSamples) / total * n.impurity
+		rSub, leaves := subtreeRisk(n, total)
+		if leaves > 1 {
+			g := (rNode - rSub) / float64(leaves-1)
+			if g < bestG {
+				bestG, best = g, n
+			}
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(root)
+	return best, bestG
+}
+
+func subtreeRisk(n *node, total float64) (risk float64, leaves int) {
+	if n.isLeaf() {
+		return float64(n.nSamples) / total * n.impurity, 1
+	}
+	rl, ll := subtreeRisk(n.left, total)
+	rr, lr := subtreeRisk(n.right, total)
+	return rl + rr, ll + lr
+}
+
+// collapse turns an internal node into a leaf using its stored statistics.
+func collapse(n *node) {
+	if n.isLeaf() {
+		return
+	}
+	if n.counts == nil && n.left.counts != nil {
+		// Classification: merge child histograms.
+		n.counts = make([]float64, len(n.left.counts))
+	}
+	if n.counts != nil {
+		mergeCounts(n)
+		n.class = argmax(n.counts)
+		n.value = float64(n.class)
+	}
+	n.feature = -1
+	n.left, n.right = nil, nil
+}
+
+func mergeCounts(n *node) {
+	for i := range n.counts {
+		n.counts[i] = 0
+	}
+	var add func(c *node)
+	add = func(c *node) {
+		if c == nil {
+			return
+		}
+		if c.isLeaf() {
+			for i, v := range c.counts {
+				n.counts[i] += v
+			}
+			return
+		}
+		add(c.left)
+		add(c.right)
+	}
+	add(n.left)
+	add(n.right)
+}
+
+// Render prints the tree in the style of Figure 6: one line per node,
+// internal nodes show "feature ≤ threshold", leaves show the class (or
+// value) with sample counts.
+func (t *Tree) Render(classNames []string) string {
+	var sb strings.Builder
+	var walk func(n *node, prefix string, isLast bool)
+	walk = func(n *node, prefix string, isLast bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if isLast {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if prefix == "" {
+			connector = ""
+			childPrefix = ""
+		}
+		if n.isLeaf() {
+			label := fmt.Sprintf("%.3f", n.value)
+			if t.numClasses > 0 {
+				if classNames != nil && n.class < len(classNames) {
+					label = classNames[n.class]
+				} else {
+					label = fmt.Sprintf("class %d", n.class)
+				}
+			}
+			fmt.Fprintf(&sb, "%s%s→ %s (n=%d, impurity=%.3f)\n", prefix, connector, label, n.nSamples, n.impurity)
+			return
+		}
+		name := fmt.Sprintf("f%d", n.feature)
+		if t.names != nil && n.feature < len(t.names) {
+			name = t.names[n.feature]
+		}
+		fmt.Fprintf(&sb, "%s%s%s ≤ %.2f? (n=%d)\n", prefix, connector, name, n.threshold, n.nSamples)
+		walk(n.left, childPrefix, false)
+		walk(n.right, childPrefix, true)
+	}
+	walk(t.root, "", true)
+	return sb.String()
+}
+
+var _ mlmodel.Regressor = (*Tree)(nil)
+var _ mlmodel.Classifier = (*Tree)(nil)

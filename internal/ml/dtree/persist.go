@@ -1,0 +1,109 @@
+package dtree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON persistence for trained trees — with cost-complexity-pruned trees a
+// few dozen nodes deep, the serialized Packing Analyze Model is a
+// human-skimmable artifact in itself.
+
+// nodeDTO flattens one node; leaves omit children.
+type nodeDTO struct {
+	Feature   int       `json:"feature"` // -1 for leaves
+	Threshold float64   `json:"threshold,omitempty"`
+	Left      *nodeDTO  `json:"left,omitempty"`
+	Right     *nodeDTO  `json:"right,omitempty"`
+	NSamples  int       `json:"n"`
+	Impurity  float64   `json:"impurity"`
+	Value     float64   `json:"value"`
+	Counts    []float64 `json:"counts,omitempty"`
+	Class     int       `json:"class,omitempty"`
+}
+
+// treeDTO is the on-disk layout.
+type treeDTO struct {
+	NumClasses int      `json:"num_classes"`
+	Names      []string `json:"names,omitempty"`
+	TotalRows  int      `json:"total_rows"`
+	Root       *nodeDTO `json:"root"`
+}
+
+func toDTO(n *node) *nodeDTO {
+	if n == nil {
+		return nil
+	}
+	return &nodeDTO{
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Left:      toDTO(n.left),
+		Right:     toDTO(n.right),
+		NSamples:  n.nSamples,
+		Impurity:  n.impurity,
+		Value:     n.value,
+		Counts:    n.counts,
+		Class:     n.class,
+	}
+}
+
+func fromDTO(d *nodeDTO) (*node, error) {
+	if d == nil {
+		return nil, nil
+	}
+	n := &node{
+		feature:   d.Feature,
+		threshold: d.Threshold,
+		nSamples:  d.NSamples,
+		impurity:  d.Impurity,
+		value:     d.Value,
+		counts:    d.Counts,
+		class:     d.Class,
+	}
+	if d.Feature >= 0 {
+		if d.Left == nil || d.Right == nil {
+			return nil, fmt.Errorf("dtree: load: internal node missing children")
+		}
+		var err error
+		if n.left, err = fromDTO(d.Left); err != nil {
+			return nil, err
+		}
+		if n.right, err = fromDTO(d.Right); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Save writes the tree as JSON.
+func (t *Tree) Save(w io.Writer) error {
+	dto := treeDTO{
+		NumClasses: t.numClasses,
+		Names:      t.names,
+		TotalRows:  t.totalRows,
+		Root:       toDTO(t.root),
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// Load reads a tree previously written by Save.
+func Load(r io.Reader) (*Tree, error) {
+	var dto treeDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("dtree: load: %w", err)
+	}
+	if dto.Root == nil {
+		return nil, fmt.Errorf("dtree: load: missing root")
+	}
+	root, err := fromDTO(dto.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		root:       root,
+		numClasses: dto.NumClasses,
+		names:      dto.Names,
+		totalRows:  dto.TotalRows,
+	}, nil
+}

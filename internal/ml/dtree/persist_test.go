@@ -1,0 +1,84 @@
+package dtree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ml/mlmodel"
+)
+
+func TestTreeSaveLoadRoundTrip(t *testing.T) {
+	ds := xorDataset()
+	tr, err := FitClassifier(ds, 2, Params{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range ds.X {
+		if loaded.PredictClass(row) != tr.PredictClass(row) {
+			t.Fatalf("row %d prediction drift", i)
+		}
+	}
+	if loaded.NumLeaves() != tr.NumLeaves() || loaded.Depth() != tr.Depth() {
+		t.Fatal("structure changed")
+	}
+	// Importances and rendering survive (they use stored statistics).
+	a, b := tr.FeatureImportances(), loaded.FeatureImportances()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("importances drifted")
+		}
+	}
+	if tr.Render(nil) != loaded.Render(nil) {
+		t.Fatal("rendering drifted")
+	}
+}
+
+func TestTreeLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("{}")); err == nil {
+		t.Fatal("missing root accepted")
+	}
+	// Internal node without children.
+	bad := `{"num_classes":2,"total_rows":1,"root":{"feature":0,"threshold":1,"n":1,"impurity":0,"value":0}}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("truncated tree accepted")
+	}
+}
+
+func TestRegressionTreeRoundTrip(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		x = append(x, []float64{float64(i)})
+		y = append(y, float64(i%7))
+	}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+	tr, err := FitRegressor(ds, Params{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x {
+		if loaded.Predict(row) != tr.Predict(row) {
+			t.Fatal("regression prediction drift")
+		}
+	}
+}

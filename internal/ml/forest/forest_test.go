@@ -1,0 +1,99 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml/mlmodel"
+	"repro/internal/xrand"
+)
+
+func friedmanData(n int, seed uint64) *mlmodel.Dataset {
+	// A classic nonlinear regression benchmark (subset of Friedman #1).
+	rng := xrand.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		x[i] = []float64{a, b, c}
+		y[i] = 10*math.Sin(math.Pi*a*b) + 20*(c-0.5)*(c-0.5) + rng.Norm(0, 0.3)
+	}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+	return ds
+}
+
+func TestRegressorBeatsMeanBaseline(t *testing.T) {
+	train := friedmanData(600, 1)
+	test := friedmanData(200, 2)
+	f, err := FitRegressor(train, Params{NumTrees: 50, MaxDepth: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := mlmodel.PredictAll(f, test.X)
+	if r2 := mlmodel.R2(pred, test.Y); r2 < 0.7 {
+		t.Fatalf("forest R2 = %v, want ≥0.7", r2)
+	}
+}
+
+func TestClassifierMajorityVote(t *testing.T) {
+	rng := xrand.New(4)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x = append(x, []float64{a, b})
+		label := 0.0
+		if a+b > 1 {
+			label = 1
+		}
+		y = append(y, label)
+	}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+	f, err := FitClassifier(ds, 2, Params{NumTrees: 30, MaxDepth: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, row := range ds.X {
+		if f.PredictClass(row) == int(ds.Y[i]) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.95 {
+		t.Fatalf("forest accuracy %v", acc)
+	}
+	// Predict() on a classifier returns the class as float.
+	if p := f.Predict([]float64{0.9, 0.9}); p != 1 {
+		t.Fatalf("Predict = %v, want 1", p)
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	if _, err := FitRegressor(&mlmodel.Dataset{}, Params{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	ds, _ := mlmodel.NewDataset([][]float64{{1}}, []float64{0}, nil)
+	if _, err := FitClassifier(ds, 1, Params{}); err == nil {
+		t.Fatal("single-class accepted")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	ds := friedmanData(200, 6)
+	a, _ := FitRegressor(ds, Params{NumTrees: 10, Seed: 7})
+	b, _ := FitRegressor(ds, Params{NumTrees: 10, Seed: 7})
+	for i := 0; i < 20; i++ {
+		row := ds.X[i]
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatal("same seed produced different forests")
+		}
+	}
+}
+
+func TestNumTreesDefault(t *testing.T) {
+	ds := friedmanData(50, 8)
+	f, _ := FitRegressor(ds, Params{NumTrees: 5})
+	if f.NumTrees() != 5 {
+		t.Fatalf("NumTrees = %d", f.NumTrees())
+	}
+}

@@ -1,0 +1,448 @@
+// Package gam implements GA²M — a Generalized Additive Model with pairwise
+// interactions (Lou et al. 2013 [59]; Nori et al. 2021 [69]) — the
+// interpretable model family behind Lucid's Throughput Predict Model and
+// Workload Estimate Model (§3.5.2–3.5.3):
+//
+//	y = μ + Σ f_i(x_i) + Σ f_ij(x_i, x_j)
+//
+// Each unary shape function f_i is a per-bin additive score table learned by
+// cyclic gradient boosting (the Explainable Boosting Machine recipe: tiny
+// per-feature updates, round-robin over features, so correlated features
+// share credit). Pairwise terms are detected FAST-style — score every
+// candidate pair by the residual variance a one-shot 2-D fit removes, keep
+// the top K — then boosted the same way.
+//
+// Because every term is a lookup table over one or two features, the model
+// is exactly as interpretable as the paper requires: global importance is
+// the mean absolute score of a term (Figure 7a), a shape function is the
+// table itself (Figure 7b), and a local explanation is the list of per-term
+// contributions that sum to the prediction (Figure 7c).
+package gam
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ml/isotonic"
+	"repro/internal/ml/mlmodel"
+)
+
+// Params configures training.
+type Params struct {
+	MaxBins      int     // per-feature bins (default 32)
+	Rounds       int     // boosting rounds over all features (default 300)
+	LearningRate float64 // per-update shrinkage (default 0.05)
+	Interactions int     // number of pairwise terms to learn (default 0)
+	PairRounds   int     // boosting rounds for pairwise terms (default Rounds/2)
+}
+
+func (p Params) normalized() Params {
+	if p.MaxBins <= 1 {
+		p.MaxBins = 32
+	}
+	if p.Rounds <= 0 {
+		p.Rounds = 300
+	}
+	if p.LearningRate <= 0 {
+		p.LearningRate = 0.05
+	}
+	if p.PairRounds <= 0 {
+		p.PairRounds = p.Rounds / 2
+	}
+	return p
+}
+
+// feature holds the learned state for one input dimension.
+type feature struct {
+	name  string
+	edges []float64 // ascending bin upper edges; len(edges)+1 bins
+	score []float64 // additive score per bin
+	count []int     // training rows per bin (for importance & PAV weights)
+}
+
+// bin maps a raw value to its bin index.
+func (f *feature) bin(v float64) int {
+	// First bin whose edge >= v; values beyond the last edge use the last
+	// bin.
+	lo, hi := 0, len(f.edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= f.edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func (f *feature) numBins() int { return len(f.edges) + 1 }
+
+// pairTerm is one learned interaction f_ij.
+type pairTerm struct {
+	i, j  int
+	score [][]float64 // [bin_i][bin_j]
+}
+
+// Model is a trained GA²M.
+type Model struct {
+	intercept float64
+	feats     []*feature
+	pairs     []*pairTerm
+}
+
+// Fit trains a GA²M on the dataset.
+func Fit(ds *mlmodel.Dataset, p Params) (*Model, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("gam: empty dataset")
+	}
+	p = p.normalized()
+	n := ds.Len()
+	d := ds.NumFeatures()
+
+	m := &Model{intercept: mlmodel.Mean(ds.Y)}
+	m.feats = make([]*feature, d)
+
+	// Precompute bin assignment per row per feature.
+	binIdx := make([][]int, d)
+	for j := 0; j < d; j++ {
+		f := &feature{name: ds.FeatureName(j)}
+		f.edges = quantileEdges(column(ds.X, j), p.MaxBins)
+		f.score = make([]float64, f.numBins())
+		f.count = make([]int, f.numBins())
+		idx := make([]int, n)
+		for i := 0; i < n; i++ {
+			b := f.bin(ds.X[i][j])
+			idx[i] = b
+			f.count[b]++
+		}
+		binIdx[j] = idx
+		m.feats[j] = f
+	}
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = m.intercept
+	}
+
+	// Cyclic boosting over unary terms.
+	binSum := make([]float64, 0, p.MaxBins+1)
+	for round := 0; round < p.Rounds; round++ {
+		for j := 0; j < d; j++ {
+			f := m.feats[j]
+			nb := f.numBins()
+			binSum = binSum[:0]
+			for b := 0; b < nb; b++ {
+				binSum = append(binSum, 0)
+			}
+			for i := 0; i < n; i++ {
+				binSum[binIdx[j][i]] += ds.Y[i] - pred[i]
+			}
+			for b := 0; b < nb; b++ {
+				if f.count[b] == 0 {
+					continue
+				}
+				f.score[b] += p.LearningRate * binSum[b] / float64(f.count[b])
+			}
+			// Apply the same deltas to the cached predictions.
+			for i := 0; i < n; i++ {
+				b := binIdx[j][i]
+				if f.count[b] != 0 {
+					pred[i] += p.LearningRate * binSum[b] / float64(f.count[b])
+				}
+			}
+		}
+	}
+
+	// Pairwise interactions.
+	if p.Interactions > 0 && d >= 2 {
+		pairs := detectPairs(ds, m, binIdx, pred, p.Interactions)
+		for _, pr := range pairs {
+			pt := &pairTerm{i: pr[0], j: pr[1]}
+			ni := m.feats[pr[0]].numBins()
+			nj := m.feats[pr[1]].numBins()
+			pt.score = make([][]float64, ni)
+			for a := range pt.score {
+				pt.score[a] = make([]float64, nj)
+			}
+			m.pairs = append(m.pairs, pt)
+		}
+		cnt := make([][]int, len(m.pairs))
+		for k, pt := range m.pairs {
+			c := make([]int, m.feats[pt.i].numBins()*m.feats[pt.j].numBins())
+			for i := 0; i < n; i++ {
+				c[binIdx[pt.i][i]*m.feats[pt.j].numBins()+binIdx[pt.j][i]]++
+			}
+			cnt[k] = c
+		}
+		for round := 0; round < p.PairRounds; round++ {
+			for k, pt := range m.pairs {
+				nj := m.feats[pt.j].numBins()
+				sums := make([]float64, m.feats[pt.i].numBins()*nj)
+				for i := 0; i < n; i++ {
+					cell := binIdx[pt.i][i]*nj + binIdx[pt.j][i]
+					sums[cell] += ds.Y[i] - pred[i]
+				}
+				for cell, s := range sums {
+					if cnt[k][cell] == 0 {
+						continue
+					}
+					delta := p.LearningRate * s / float64(cnt[k][cell])
+					pt.score[cell/nj][cell%nj] += delta
+				}
+				for i := 0; i < n; i++ {
+					cell := binIdx[pt.i][i]*nj + binIdx[pt.j][i]
+					if cnt[k][cell] != 0 {
+						pred[i] += p.LearningRate * sums[cell] / float64(cnt[k][cell])
+					}
+				}
+			}
+		}
+	}
+
+	m.center()
+	return m, nil
+}
+
+// detectPairs scores all feature pairs by the one-shot 2-D residual fit
+// (FAST heuristic) and returns the top-k index pairs.
+func detectPairs(ds *mlmodel.Dataset, m *Model, binIdx [][]int, pred []float64, k int) [][2]int {
+	d := len(m.feats)
+	n := ds.Len()
+	type cand struct {
+		i, j int
+		gain float64
+	}
+	var cands []cand
+	resid := make([]float64, n)
+	for i := 0; i < n; i++ {
+		resid[i] = ds.Y[i] - pred[i]
+	}
+	base := 0.0
+	for _, r := range resid {
+		base += r * r
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			nj := m.feats[j].numBins()
+			cells := m.feats[i].numBins() * nj
+			sum := make([]float64, cells)
+			cnt := make([]int, cells)
+			for r := 0; r < n; r++ {
+				cell := binIdx[i][r]*nj + binIdx[j][r]
+				sum[cell] += resid[r]
+				cnt[cell]++
+			}
+			// Variance removed by predicting each cell's mean.
+			removed := 0.0
+			for c := range sum {
+				if cnt[c] > 0 {
+					removed += sum[c] * sum[c] / float64(cnt[c])
+				}
+			}
+			cands = append(cands, cand{i, j, removed})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].gain > cands[b].gain })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([][2]int, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, [2]int{c.i, c.j})
+	}
+	return out
+}
+
+// center shifts every term to zero weighted mean and folds the offsets into
+// the intercept, the canonical EBM normalization that makes term scores
+// comparable.
+func (m *Model) center() {
+	for _, f := range m.feats {
+		total := 0
+		wsum := 0.0
+		for b, c := range f.count {
+			total += c
+			wsum += f.score[b] * float64(c)
+		}
+		if total == 0 {
+			continue
+		}
+		off := wsum / float64(total)
+		for b := range f.score {
+			f.score[b] -= off
+		}
+		m.intercept += off
+	}
+}
+
+// Predict evaluates the model on one row.
+func (m *Model) Predict(x []float64) float64 {
+	s := m.intercept
+	for j, f := range m.feats {
+		s += f.score[f.bin(x[j])]
+	}
+	for _, pt := range m.pairs {
+		bi := m.feats[pt.i].bin(x[pt.i])
+		bj := m.feats[pt.j].bin(x[pt.j])
+		s += pt.score[bi][bj]
+	}
+	return s
+}
+
+// Intercept returns μ.
+func (m *Model) Intercept() float64 { return m.intercept }
+
+// NumPairs returns the number of learned interaction terms.
+func (m *Model) NumPairs() int { return len(m.pairs) }
+
+// PairFeatures returns the feature-index pairs of the learned interactions.
+func (m *Model) PairFeatures() [][2]int {
+	out := make([][2]int, len(m.pairs))
+	for k, pt := range m.pairs {
+		out[k] = [2]int{pt.i, pt.j}
+	}
+	return out
+}
+
+// GlobalImportance returns the mean absolute score of each unary term over
+// the training distribution — the Figure 7a "Average Absolute Score" bars.
+func (m *Model) GlobalImportance() []float64 {
+	out := make([]float64, len(m.feats))
+	for j, f := range m.feats {
+		total := 0
+		s := 0.0
+		for b, c := range f.count {
+			total += c
+			s += math.Abs(f.score[b]) * float64(c)
+		}
+		if total > 0 {
+			out[j] = s / float64(total)
+		}
+	}
+	return out
+}
+
+// FeatureName returns the name of unary term j.
+func (m *Model) FeatureName(j int) string { return m.feats[j].name }
+
+// NumFeatures returns the input dimensionality.
+func (m *Model) NumFeatures() int { return len(m.feats) }
+
+// ShapePoint is one bin of a shape function: the upper edge of the bin (or
+// +Inf for the last) and its additive score.
+type ShapePoint struct {
+	UpperEdge float64
+	Score     float64
+	Count     int
+}
+
+// ShapeFunction returns the learned shape of unary term j — the Figure 7b
+// plot.
+func (m *Model) ShapeFunction(j int) []ShapePoint {
+	f := m.feats[j]
+	out := make([]ShapePoint, f.numBins())
+	for b := range out {
+		edge := math.Inf(1)
+		if b < len(f.edges) {
+			edge = f.edges[b]
+		}
+		out[b] = ShapePoint{UpperEdge: edge, Score: f.score[b], Count: f.count[b]}
+	}
+	return out
+}
+
+// Contribution is one term's share of a single prediction.
+type Contribution struct {
+	Name  string
+	Value float64 // raw feature value (NaN for pair terms)
+	Score float64
+}
+
+// Explain decomposes one prediction into intercept + per-term contributions
+// — the Figure 7c local interpretation. The scores plus the intercept sum
+// exactly to Predict(x).
+func (m *Model) Explain(x []float64) (intercept float64, contribs []Contribution) {
+	intercept = m.intercept
+	for j, f := range m.feats {
+		contribs = append(contribs, Contribution{
+			Name:  f.name,
+			Value: x[j],
+			Score: f.score[f.bin(x[j])],
+		})
+	}
+	for _, pt := range m.pairs {
+		bi := m.feats[pt.i].bin(x[pt.i])
+		bj := m.feats[pt.j].bin(x[pt.j])
+		contribs = append(contribs, Contribution{
+			Name:  m.feats[pt.i].name + " x " + m.feats[pt.j].name,
+			Value: math.NaN(),
+			Score: pt.score[bi][bj],
+		})
+	}
+	return intercept, contribs
+}
+
+// ApplyMonotonic replaces unary term j's shape with its isotonic (PAV)
+// projection, weighted by bin populations — §3.6.1's monotonic constraint.
+// increasing=false forces a non-increasing shape.
+func (m *Model) ApplyMonotonic(j int, increasing bool) {
+	f := m.feats[j]
+	w := make([]float64, f.numBins())
+	for b, c := range f.count {
+		w[b] = float64(c)
+		if c == 0 {
+			w[b] = 1e-9 // keep empty bins from pinning the fit
+		}
+	}
+	if increasing {
+		f.score = isotonic.Regression(f.score, w)
+	} else {
+		f.score = isotonic.Decreasing(f.score, w)
+	}
+}
+
+// quantileEdges computes ≤ maxBins-1 ascending cut points from the value
+// distribution; duplicate quantiles collapse, so low-cardinality features
+// get one bin per distinct value.
+func quantileEdges(vals []float64, maxBins int) []float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) <= 1 {
+		return nil // single bin
+	}
+	if len(uniq) <= maxBins {
+		// One bin per distinct value: edges halfway between neighbours.
+		edges := make([]float64, len(uniq)-1)
+		for i := 0; i+1 < len(uniq); i++ {
+			edges[i] = (uniq[i] + uniq[i+1]) / 2
+		}
+		return edges
+	}
+	edges := make([]float64, 0, maxBins-1)
+	for b := 1; b < maxBins; b++ {
+		q := float64(b) / float64(maxBins)
+		v := sorted[int(q*float64(len(sorted)-1))]
+		if len(edges) == 0 || v > edges[len(edges)-1] {
+			edges = append(edges, v)
+		}
+	}
+	return edges
+}
+
+func column(x [][]float64, j int) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = row[j]
+	}
+	return out
+}
+
+var _ mlmodel.Regressor = (*Model)(nil)

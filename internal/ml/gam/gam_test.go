@@ -1,0 +1,221 @@
+package gam
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml/isotonic"
+	"repro/internal/ml/mlmodel"
+	"repro/internal/xrand"
+)
+
+func additiveData(n int, seed uint64) *mlmodel.Dataset {
+	// y = 2·sin(x0) + x1² − 3·x2 + noise: purely additive, a GAM's home turf.
+	rng := xrand.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 6
+		b := rng.Float64()*4 - 2
+		c := rng.Float64()
+		x[i] = []float64{a, b, c}
+		y[i] = 2*math.Sin(a) + b*b - 3*c + rng.Norm(0, 0.1)
+	}
+	ds, _ := mlmodel.NewDataset(x, y, []string{"angle", "quad", "lin"})
+	return ds
+}
+
+func TestFitsAdditiveFunction(t *testing.T) {
+	train := additiveData(1500, 1)
+	test := additiveData(400, 2)
+	m, err := Fit(train, Params{Rounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := mlmodel.PredictAll(m, test.X)
+	if r2 := mlmodel.R2(pred, test.Y); r2 < 0.95 {
+		t.Fatalf("GA2M R2 on additive data = %v", r2)
+	}
+}
+
+func TestInteractionDetection(t *testing.T) {
+	// y = x0·x1 is invisible to pure main effects; the pair term must pick
+	// the (0,1) interaction over the decoy feature 2.
+	rng := xrand.New(3)
+	n := 2000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()*2 - 1
+		b := rng.Float64()*2 - 1
+		c := rng.Float64()
+		x[i] = []float64{a, b, c}
+		y[i] = a * b
+	}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+
+	noPair, _ := Fit(ds, Params{Rounds: 150})
+	withPair, err := Fit(ds, Params{Rounds: 150, Interactions: 1, PairRounds: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPair.NumPairs() != 1 {
+		t.Fatalf("learned %d pairs, want 1", withPair.NumPairs())
+	}
+	if pf := withPair.PairFeatures()[0]; pf != [2]int{0, 1} {
+		t.Fatalf("picked pair %v, want {0,1}", pf)
+	}
+	r2No := mlmodel.R2(mlmodel.PredictAll(noPair, ds.X), ds.Y)
+	r2Yes := mlmodel.R2(mlmodel.PredictAll(withPair, ds.X), ds.Y)
+	if r2Yes < r2No+0.3 {
+		t.Fatalf("pair term did not help: %v → %v", r2No, r2Yes)
+	}
+}
+
+func TestExplainSumsToPrediction(t *testing.T) {
+	ds := additiveData(500, 4)
+	m, _ := Fit(ds, Params{Rounds: 100, Interactions: 1})
+	for i := 0; i < 20; i++ {
+		x := ds.X[i]
+		intercept, contribs := m.Explain(x)
+		sum := intercept
+		for _, c := range contribs {
+			sum += c.Score
+		}
+		if math.Abs(sum-m.Predict(x)) > 1e-9 {
+			t.Fatalf("explanation sums to %v, prediction is %v", sum, m.Predict(x))
+		}
+	}
+}
+
+func TestGlobalImportanceIdentifiesSignal(t *testing.T) {
+	// Feature 0 carries all the signal; 1 is noise.
+	rng := xrand.New(5)
+	n := 1000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x[i] = []float64{a, b}
+		y[i] = 4 * a
+	}
+	ds, _ := mlmodel.NewDataset(x, y, []string{"signal", "noise"})
+	m, _ := Fit(ds, Params{Rounds: 150})
+	imp := m.GlobalImportance()
+	if imp[0] < 10*imp[1] {
+		t.Fatalf("importance signal=%v noise=%v", imp[0], imp[1])
+	}
+	if m.FeatureName(0) != "signal" {
+		t.Fatal("feature name lost")
+	}
+}
+
+func TestShapeFunctionRecoversLinearSlope(t *testing.T) {
+	rng := xrand.New(6)
+	n := 2000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 10
+		x[i] = []float64{a}
+		y[i] = 2 * a
+	}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+	m, _ := Fit(ds, Params{Rounds: 300})
+	shape := m.ShapeFunction(0)
+	if len(shape) < 8 {
+		t.Fatalf("too few bins: %d", len(shape))
+	}
+	// Scores must increase across bins (up to small noise at the ends).
+	first, last := shape[0].Score, shape[len(shape)-1].Score
+	if last-first < 10 {
+		t.Fatalf("shape range %v..%v too flat for slope-2 over [0,10]", first, last)
+	}
+	// Intercept + mid-bin score ≈ y at the middle.
+	if math.Abs(m.Predict([]float64{5})-10) > 1.0 {
+		t.Fatalf("predict(5) = %v, want ≈10", m.Predict([]float64{5}))
+	}
+}
+
+func TestMonotonicConstraint(t *testing.T) {
+	// Noisy increasing relationship; PAV must make the shape monotone
+	// without wrecking accuracy (§3.6.1).
+	rng := xrand.New(7)
+	n := 800
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 10
+		x[i] = []float64{a}
+		y[i] = a + rng.Norm(0, 2)
+	}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+	m, _ := Fit(ds, Params{Rounds: 200})
+	m.ApplyMonotonic(0, true)
+	shape := m.ShapeFunction(0)
+	scores := make([]float64, len(shape))
+	for i, s := range shape {
+		scores[i] = s.Score
+	}
+	if !isotonic.IsMonotoneNonDecreasing(scores) {
+		t.Fatalf("shape not monotone after constraint: %v", scores)
+	}
+	pred := mlmodel.PredictAll(m, ds.X)
+	if r2 := mlmodel.R2(pred, ds.Y); r2 < 0.5 {
+		t.Fatalf("monotonic constraint destroyed fit: R2=%v", r2)
+	}
+}
+
+func TestLowCardinalityFeatureBins(t *testing.T) {
+	// A binary feature gets exactly 2 bins.
+	x := [][]float64{{0}, {1}, {0}, {1}}
+	y := []float64{1, 5, 1, 5}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+	m, _ := Fit(ds, Params{Rounds: 200})
+	if got := len(m.ShapeFunction(0)); got != 2 {
+		t.Fatalf("binary feature has %d bins, want 2", got)
+	}
+	if math.Abs(m.Predict([]float64{0})-1) > 0.3 || math.Abs(m.Predict([]float64{1})-5) > 0.3 {
+		t.Fatalf("binary fit wrong: %v %v", m.Predict([]float64{0}), m.Predict([]float64{1}))
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	x := [][]float64{{3, 1}, {3, 2}, {3, 3}}
+	y := []float64{1, 2, 3}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+	m, err := Fit(ds, Params{Rounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.ShapeFunction(0)); got != 1 {
+		t.Fatalf("constant feature has %d bins, want 1", got)
+	}
+	if p := m.Predict([]float64{3, 2}); math.Abs(p-2) > 0.3 {
+		t.Fatalf("prediction %v", p)
+	}
+}
+
+func TestEmptyRejected(t *testing.T) {
+	if _, err := Fit(&mlmodel.Dataset{}, Params{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestCenteredShapes(t *testing.T) {
+	// After centering, the count-weighted mean score of every unary term is
+	// ~0, so the intercept equals the target mean on balanced data.
+	ds := additiveData(800, 8)
+	m, _ := Fit(ds, Params{Rounds: 150})
+	for j := 0; j < m.NumFeatures(); j++ {
+		shape := m.ShapeFunction(j)
+		var wsum, n float64
+		for _, s := range shape {
+			wsum += s.Score * float64(s.Count)
+			n += float64(s.Count)
+		}
+		if math.Abs(wsum/n) > 1e-6 {
+			t.Fatalf("term %d not centered: weighted mean %v", j, wsum/n)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package gam
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON persistence: a trained GA²M is just its intercept plus lookup tables,
+// so it serializes losslessly — the deployment story behind Lucid's A2
+// property (ship a trained model to the cluster manager; no retraining, no
+// framework dependency).
+
+// featureDTO mirrors feature for encoding.
+type featureDTO struct {
+	Name  string    `json:"name"`
+	Edges []float64 `json:"edges"`
+	Score []float64 `json:"score"`
+	Count []int     `json:"count"`
+}
+
+// modelDTO is the on-disk layout.
+type modelDTO struct {
+	Intercept float64      `json:"intercept"`
+	Features  []featureDTO `json:"features"`
+	Pairs     []struct {
+		I     int         `json:"i"`
+		J     int         `json:"j"`
+		Score [][]float64 `json:"score"`
+	} `json:"pairs,omitempty"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	dto := modelDTO{Intercept: m.intercept}
+	for _, f := range m.feats {
+		dto.Features = append(dto.Features, featureDTO{
+			Name: f.name, Edges: f.edges, Score: f.score, Count: f.count,
+		})
+	}
+	for _, p := range m.pairs {
+		dto.Pairs = append(dto.Pairs, struct {
+			I     int         `json:"i"`
+			J     int         `json:"j"`
+			Score [][]float64 `json:"score"`
+		}{p.i, p.j, p.score})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(dto)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var dto modelDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("gam: load: %w", err)
+	}
+	m := &Model{intercept: dto.Intercept}
+	for i, fd := range dto.Features {
+		if len(fd.Score) != len(fd.Edges)+1 || len(fd.Count) != len(fd.Score) {
+			return nil, fmt.Errorf("gam: load: feature %d has inconsistent bin counts", i)
+		}
+		m.feats = append(m.feats, &feature{
+			name: fd.Name, edges: fd.Edges, score: fd.Score, count: fd.Count,
+		})
+	}
+	for k, pd := range dto.Pairs {
+		if pd.I < 0 || pd.I >= len(m.feats) || pd.J < 0 || pd.J >= len(m.feats) {
+			return nil, fmt.Errorf("gam: load: pair %d references unknown feature", k)
+		}
+		if len(pd.Score) != m.feats[pd.I].numBins() {
+			return nil, fmt.Errorf("gam: load: pair %d table shape mismatch", k)
+		}
+		for _, row := range pd.Score {
+			if len(row) != m.feats[pd.J].numBins() {
+				return nil, fmt.Errorf("gam: load: pair %d table shape mismatch", k)
+			}
+		}
+		m.pairs = append(m.pairs, &pairTerm{i: pd.I, j: pd.J, score: pd.Score})
+	}
+	return m, nil
+}

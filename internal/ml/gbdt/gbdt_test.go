@@ -1,0 +1,94 @@
+package gbdt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml/mlmodel"
+	"repro/internal/xrand"
+)
+
+func nonlinearData(n int, seed uint64) *mlmodel.Dataset {
+	rng := xrand.New(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*4, rng.Float64()*4
+		x[i] = []float64{a, b}
+		y[i] = math.Sin(a)*3 + b*b*0.5 + rng.Norm(0, 0.1)
+	}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+	return ds
+}
+
+func TestBoostingFitsNonlinear(t *testing.T) {
+	train := nonlinearData(800, 1)
+	test := nonlinearData(200, 2)
+	m, err := Fit(train, Params{NumRounds: 120, LearningRate: 0.1, MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := mlmodel.PredictAll(m, test.X)
+	if r2 := mlmodel.R2(pred, test.Y); r2 < 0.9 {
+		t.Fatalf("gbdt R2 = %v, want ≥0.9", r2)
+	}
+}
+
+func TestMoreRoundsReduceTrainError(t *testing.T) {
+	ds := nonlinearData(400, 3)
+	few, _ := Fit(ds, Params{NumRounds: 5})
+	many, _ := Fit(ds, Params{NumRounds: 80})
+	errFew := mlmodel.MSE(mlmodel.PredictAll(few, ds.X), ds.Y)
+	errMany := mlmodel.MSE(mlmodel.PredictAll(many, ds.X), ds.Y)
+	if errMany >= errFew {
+		t.Fatalf("boosting did not improve: %v → %v", errFew, errMany)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ds := nonlinearData(300, 4)
+	for _, p := range []Params{LightGBMStyle(), XGBoostStyle()} {
+		m, err := Fit(ds, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := mlmodel.PredictAll(m, ds.X)
+		if r2 := mlmodel.R2(pred, ds.Y); r2 < 0.8 {
+			t.Fatalf("preset %+v R2 = %v", p, r2)
+		}
+	}
+}
+
+func TestEmptyRejected(t *testing.T) {
+	if _, err := Fit(&mlmodel.Dataset{}, Params{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	ds, _ := mlmodel.NewDataset(x, y, nil)
+	m, err := Fit(ds, Params{NumRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{2}); math.Abs(p-7) > 1e-9 {
+		t.Fatalf("constant prediction = %v", p)
+	}
+}
+
+func TestSubsampleStillLearns(t *testing.T) {
+	ds := nonlinearData(500, 5)
+	m, err := Fit(ds, Params{NumRounds: 100, Subsample: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := mlmodel.PredictAll(m, ds.X)
+	if r2 := mlmodel.R2(pred, ds.Y); r2 < 0.85 {
+		t.Fatalf("subsampled gbdt R2 = %v", r2)
+	}
+	if m.NumTrees() != 100 {
+		t.Fatalf("NumTrees = %d", m.NumTrees())
+	}
+}

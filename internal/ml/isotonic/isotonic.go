@@ -1,0 +1,88 @@
+// Package isotonic implements the Pool Adjacent Violators (PAV) algorithm
+// (Ayer et al. 1955, the paper's citation [8]). Lucid's System Tuner uses it
+// to pose monotonic constraints on learned GA²M shape functions (§3.6.1):
+// e.g. forcing the gpu_num contribution to job duration to be
+// non-decreasing, which the paper reports buys +2.6 % R² and −3.9 % queuing
+// delay.
+package isotonic
+
+// Regression returns the weighted least-squares non-decreasing fit to y.
+// weights may be nil (all ones). The output has the same length as y.
+func Regression(y, weights []float64) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	w := weights
+	if w == nil {
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 1
+		}
+	}
+
+	// Blocks of pooled values: value, weight, count.
+	type block struct {
+		sum, weight float64
+		count       int
+	}
+	blocks := make([]block, 0, n)
+	for i := 0; i < n; i++ {
+		blocks = append(blocks, block{sum: y[i] * w[i], weight: w[i], count: 1})
+		// Pool while the new block violates monotonicity with its
+		// predecessor.
+		for len(blocks) > 1 {
+			last := len(blocks) - 1
+			a, b := blocks[last-1], blocks[last]
+			if mean(a) <= mean(b) {
+				break
+			}
+			blocks[last-1] = block{sum: a.sum + b.sum, weight: a.weight + b.weight, count: a.count + b.count}
+			blocks = blocks[:last]
+		}
+	}
+
+	i := 0
+	for _, b := range blocks {
+		v := mean(b)
+		for k := 0; k < b.count; k++ {
+			out[i] = v
+			i++
+		}
+	}
+	return out
+}
+
+func mean(b struct {
+	sum, weight float64
+	count       int
+}) float64 {
+	if b.weight == 0 {
+		return 0
+	}
+	return b.sum / b.weight
+}
+
+// Decreasing returns the non-increasing fit (PAV on the negated series).
+func Decreasing(y, weights []float64) []float64 {
+	neg := make([]float64, len(y))
+	for i, v := range y {
+		neg[i] = -v
+	}
+	fit := Regression(neg, weights)
+	for i := range fit {
+		fit[i] = -fit[i]
+	}
+	return fit
+}
+
+// IsMonotoneNonDecreasing reports whether xs never decreases.
+func IsMonotoneNonDecreasing(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+// Package textdist implements the Levenshtein edit distance (Navarro 2001,
+// the paper's citation [68]). Lucid's Workload Estimate Model uses it to
+// convert "extremely sparse and high-dimensional features like job names" to
+// dense numerical values before bucketizing them with affinity propagation
+// (§3.5.3) — recurring jobs get near-identical names ("train_v1",
+// "train_v2"), so edit distance clusters them.
+package textdist
+
+// Levenshtein returns the edit distance between a and b (insertions,
+// deletions, substitutions all cost 1). Runs in O(len(a)·len(b)) time and
+// O(min) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// Similarity maps distance to [0, 1]: 1 for identical strings, approaching 0
+// as the distance reaches the longer length.
+func Similarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	longest := la
+	if lb > longest {
+		longest = lb
+	}
+	if longest == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(longest)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

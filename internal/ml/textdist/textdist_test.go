@@ -1,0 +1,76 @@
+package textdist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownDistances(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"train_v1", "train_v2", 1},
+		{"resnet50_imagenet", "resnet18_imagenet", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUnicode(t *testing.T) {
+	if got := Levenshtein("héllo", "hello"); got != 1 {
+		t.Fatalf("unicode distance = %d, want 1", got)
+	}
+}
+
+func TestSymmetryProperty(t *testing.T) {
+	check := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityProperty(t *testing.T) {
+	check := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	check := func(a, b, c string) bool {
+		if len(a) > 30 || len(b) > 30 || len(c) > 30 {
+			return true
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	if s := Similarity("abc", "abc"); s != 1 {
+		t.Fatalf("identical similarity = %v", s)
+	}
+	if s := Similarity("", ""); s != 1 {
+		t.Fatalf("empty similarity = %v", s)
+	}
+	if s := Similarity("abc", "xyz"); s != 0 {
+		t.Fatalf("disjoint similarity = %v", s)
+	}
+	if s := Similarity("train_v1", "train_v2"); s < 0.8 {
+		t.Fatalf("recurring names should be similar: %v", s)
+	}
+}

@@ -1,0 +1,79 @@
+// Package sched implements the baseline schedulers Lucid is evaluated
+// against (§4.1): FIFO, the SJF oracle, the prediction-driven QSSF, the
+// intrusive packing scheduler Horus, the preemptive Tiresias, and an
+// elastic Pollux-style scheduler for §4.7. Lucid itself lives in
+// internal/core; everything here shares the sim.Scheduler interface.
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// Estimator predicts a job's duration in seconds from non-intrusive
+// metadata. QSSF and Lucid plug different models into this.
+type Estimator interface {
+	EstimateSec(j *job.Job) float64
+}
+
+// OracleEstimator returns the ground-truth duration (SJF's "impossible to
+// attain" perfect information).
+type OracleEstimator struct{}
+
+// EstimateSec returns the true duration.
+func (OracleEstimator) EstimateSec(j *job.Job) float64 { return float64(j.Duration) }
+
+// byVC groups jobs per virtual cluster preserving input order.
+func byVC(jobs []*job.Job) map[string][]*job.Job {
+	m := map[string][]*job.Job{}
+	for _, j := range jobs {
+		m[j.VC] = append(m[j.VC], j)
+	}
+	return m
+}
+
+// sortedVCs returns the group keys in deterministic order.
+func sortedVCs(m map[string][]*job.Job) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// placeGreedy walks jobs in the given order, starting every one that fits
+// (skipping those that don't) — the standard non-blocking queue drain.
+func placeGreedy(env *sim.Env, jobs []*job.Job) {
+	for _, j := range jobs {
+		env.StartExclusive(j)
+	}
+}
+
+// placeStrict walks jobs in order and stops at the first that cannot be
+// placed — true head-of-line blocking, the behaviour that makes FIFO so
+// costly on heavy-tailed workloads.
+func placeStrict(env *sim.Env, jobs []*job.Job) {
+	for _, j := range jobs {
+		if !env.StartExclusive(j) {
+			return
+		}
+	}
+}
+
+// stableSortBy sorts jobs by the key ascending with (submit, id) tiebreaks
+// for determinism.
+func stableSortBy(jobs []*job.Job, key func(*job.Job) float64) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		ka, kb := key(jobs[a]), key(jobs[b])
+		if ka != kb {
+			return ka < kb
+		}
+		if jobs[a].Submit != jobs[b].Submit {
+			return jobs[a].Submit < jobs[b].Submit
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}

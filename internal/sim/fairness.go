@@ -1,0 +1,69 @@
+package sim
+
+import "sort"
+
+// Fairness metrics — the paper's first future-work direction (§6:
+// "supporting more scheduling objectives like fairness"). We quantify
+// fairness the way the DL-scheduling fairness literature (Themis, ASTRAEA)
+// does: per-user slowdown — a user's average JCT over ideal execution time
+// — summarized by Jain's fairness index across users.
+
+// UserSlowdowns returns each user's mean slowdown (JCT / exclusive
+// duration, ≥1) over their finished jobs, keyed by user name.
+func (r *Result) UserSlowdowns() map[string]float64 {
+	sum := map[string]float64{}
+	n := map[string]int{}
+	for _, j := range r.Jobs {
+		if j.Finish < 0 || j.Duration <= 0 {
+			continue
+		}
+		s := float64(j.JCT()) / float64(j.Duration)
+		if s < 1 {
+			s = 1
+		}
+		sum[j.User] += s
+		n[j.User]++
+	}
+	out := make(map[string]float64, len(sum))
+	for u, s := range sum {
+		out[u] = s / float64(n[u])
+	}
+	return out
+}
+
+// FairnessIndex returns Jain's index over per-user slowdowns:
+// (Σx)² / (n·Σx²) ∈ (0, 1], where 1 means every user experiences the same
+// slowdown. Returns 1 for fewer than two users.
+func (r *Result) FairnessIndex() float64 {
+	slow := r.UserSlowdowns()
+	if len(slow) < 2 {
+		return 1
+	}
+	var s, s2 float64
+	for _, x := range slow {
+		s += x
+		s2 += x * x
+	}
+	if s2 == 0 {
+		return 1
+	}
+	return s * s / (float64(len(slow)) * s2)
+}
+
+// WorstUserSlowdown returns the highest per-user slowdown (the user the
+// scheduler treats worst) and that user's name.
+func (r *Result) WorstUserSlowdown() (user string, slowdown float64) {
+	slow := r.UserSlowdowns()
+	// Deterministic tie-break by name.
+	users := make([]string, 0, len(slow))
+	for u := range slow {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		if slow[u] > slowdown {
+			user, slowdown = u, slow[u]
+		}
+	}
+	return user, slowdown
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/job"
+)
+
+// Result aggregates one simulation run — the raw material for Tables 3–6 and
+// Figures 8, 9, 11, 12 and 14a.
+type Result struct {
+	Scheduler string
+	Jobs      []*job.Job
+
+	AvgJCTSec     float64
+	AvgQueueSec   float64
+	P999QueueSec  float64
+	MakespanSec   int64
+	AvgGPUUtilPct float64
+	AvgGPUMemPct  float64
+	Unfinished    int
+
+	// SharedStarts counts packed placements; AvgSharedGPUs is the mean
+	// number of GPUs hosting two jobs at sampling instants.
+	SharedStarts  int
+	AvgSharedGPUs float64
+
+	// PerVCQueueSec is the average queuing delay per VC (Figure 9).
+	PerVCQueueSec map[string]float64
+
+	// Timeline is the per-job event log (only when Options.RecordTimeline).
+	Timeline []TimelineEvent
+}
+
+func (s *Sim) collect() *Result {
+	r := &Result{Scheduler: s.sched.Name(), Jobs: s.jobs, PerVCQueueSec: map[string]float64{}}
+	var jctSum, queueSum float64
+	var finished int
+	var queues []float64
+	vcSum := map[string]float64{}
+	vcN := map[string]int{}
+	var maxFinish int64
+	var minSubmit int64 = math.MaxInt64
+
+	for _, j := range s.jobs {
+		if j.Submit < minSubmit {
+			minSubmit = j.Submit
+		}
+		if j.Finish < 0 {
+			r.Unfinished++
+			continue
+		}
+		finished++
+		jctSum += float64(j.JCT())
+		q := float64(j.QueueDelay())
+		queueSum += q
+		queues = append(queues, q)
+		vcSum[j.VC] += q
+		vcN[j.VC]++
+		if j.Finish > maxFinish {
+			maxFinish = j.Finish
+		}
+	}
+	if finished > 0 {
+		r.AvgJCTSec = jctSum / float64(finished)
+		r.AvgQueueSec = queueSum / float64(finished)
+		r.P999QueueSec = Percentile(queues, 0.999)
+		r.MakespanSec = maxFinish - minSubmit
+	}
+	for vc, sum := range vcSum {
+		r.PerVCQueueSec[vc] = sum / float64(vcN[vc])
+	}
+	if s.utilSamples > 0 {
+		r.AvgGPUUtilPct = s.utilSum / float64(s.utilSamples)
+		r.AvgGPUMemPct = s.memSum / float64(s.utilSamples)
+		r.AvgSharedGPUs = s.sharedGPUSum / float64(s.utilSamples)
+	}
+	r.SharedStarts = s.sharedStarts
+	r.Timeline = s.timeline
+	return r
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs by nearest-rank on a
+// sorted copy. Returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// JCTs returns finished jobs' completion times in seconds (for CDFs).
+func (r *Result) JCTs() []float64 {
+	var out []float64
+	for _, j := range r.Jobs {
+		if j.Finish >= 0 {
+			out = append(out, float64(j.JCT()))
+		}
+	}
+	return out
+}
+
+// QueueDelays returns finished jobs' queuing delays in seconds.
+func (r *Result) QueueDelays() []float64 {
+	var out []float64
+	for _, j := range r.Jobs {
+		if j.Finish >= 0 {
+			out = append(out, float64(j.QueueDelay()))
+		}
+	}
+	return out
+}
+
+// AvgJCTHours is the Table 4 unit.
+func (r *Result) AvgJCTHours() float64 { return r.AvgJCTSec / 3600 }
+
+// AvgQueueHours is the Table 4 unit.
+func (r *Result) AvgQueueHours() float64 { return r.AvgQueueSec / 3600 }
+
+// P999QueueHours is the Table 4 unit.
+func (r *Result) P999QueueHours() float64 { return r.P999QueueSec / 3600 }
+
+// MakespanHours is the Table 3 unit.
+func (r *Result) MakespanHours() float64 { return float64(r.MakespanSec) / 3600 }
+
+// ScaleStats splits finished jobs at the §4.3 boundary (Table 5): large
+// (>8 GPUs) vs small (≤8), returning (avg JCT, avg queue) in seconds for
+// each.
+func (r *Result) ScaleStats() (largeJCT, largeQueue, smallJCT, smallQueue float64) {
+	var lj, lq, sj, sq float64
+	var ln, sn int
+	for _, j := range r.Jobs {
+		if j.Finish < 0 {
+			continue
+		}
+		if j.GPUs > 8 {
+			lj += float64(j.JCT())
+			lq += float64(j.QueueDelay())
+			ln++
+		} else {
+			sj += float64(j.JCT())
+			sq += float64(j.QueueDelay())
+			sn++
+		}
+	}
+	if ln > 0 {
+		largeJCT, largeQueue = lj/float64(ln), lq/float64(ln)
+	}
+	if sn > 0 {
+		smallJCT, smallQueue = sj/float64(sn), sq/float64(sn)
+	}
+	return largeJCT, largeQueue, smallJCT, smallQueue
+}
+
+// ShortJobQueuedCount counts finished short jobs (duration ≤ cutoff) that
+// waited longer than their own duration — the paper's "queuing short-term
+// jobs" debugging-feedback metric (§4.3).
+func (r *Result) ShortJobQueuedCount(cutoffSec int64) int {
+	n := 0
+	for _, j := range r.Jobs {
+		if j.Finish < 0 || j.Duration > cutoffSec {
+			continue
+		}
+		if j.QueueDelay() > j.Duration {
+			n++
+		}
+	}
+	return n
+}
+
+// CDF returns (sorted values, cumulative fraction) pairs suitable for
+// plotting a Figure 8-style curve.
+func CDF(xs []float64) (vals, frac []float64) {
+	vals = append([]float64(nil), xs...)
+	sort.Float64s(vals)
+	frac = make([]float64, len(vals))
+	for i := range vals {
+		frac[i] = float64(i+1) / float64(len(vals))
+	}
+	return vals, frac
+}
+
+// Summary renders a one-line human-readable digest.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s avgJCT=%7.2fh avgQueue=%7.2fh p99.9Queue=%8.2fh makespan=%7.2fh util=%4.1f%% mem=%4.1f%% shared=%d",
+		r.Scheduler, r.AvgJCTHours(), r.AvgQueueHours(), r.P999QueueHours(), r.MakespanHours(), r.AvgGPUUtilPct, r.AvgGPUMemPct, r.SharedStarts)
+	if r.Unfinished > 0 {
+		fmt.Fprintf(&sb, " UNFINISHED=%d", r.Unfinished)
+	}
+	return sb.String()
+}

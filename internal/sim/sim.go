@@ -1,0 +1,539 @@
+// Package sim is the trace-driven GPU-cluster simulator behind every
+// large-scale experiment in the paper's §4.3–§4.7 (the authors likewise
+// derive all large-scale results from a simulator whose fidelity §4.2
+// validates — our Table 3 experiment performs the same validation between a
+// 1-second fine-grained engine and the coarse event loop used at scale).
+//
+// The engine advances in fixed ticks. Each tick it (1) integrates the
+// progress of running jobs under the colocation interference model,
+// (2) retires finished jobs with sub-tick completion timestamps,
+// (3) releases newly submitted jobs to the scheduler, (4) invokes the
+// scheduler, and (5) recomputes execution speeds from the resulting
+// placement. Schedulers drive placement exclusively through Env, which also
+// exposes the decoupled profiling cluster Lucid's Non-intrusive Job Profiler
+// manages (§3.2).
+//
+// Non-intrusiveness is a simulation rule, not just a slogan: a job moved off
+// the profiling cluster restarts from zero progress (no checkpoints exist
+// unless a scheduler is explicitly intrusive), whereas the intrusive
+// Preempt used by Tiresias checkpoints remaining work at the cost of a
+// cold-start overhead on resume.
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scheduler is the policy interface. Tick is invoked whenever cluster state
+// may have changed (arrivals, completions) and at least every
+// Options.SchedulerEvery seconds.
+type Scheduler interface {
+	Name() string
+	Tick(env *Env)
+}
+
+// Options tunes the engine.
+type Options struct {
+	Tick           int64 // seconds per step (default 30)
+	SchedulerEvery int64 // max seconds between scheduler invocations (default 300)
+	SampleEvery    int64 // utilization sampling period (default 600)
+	MaxHorizon     int64 // hard stop, seconds (default 6× the trace window)
+
+	// ProfilerNodes adds a decoupled profiling cluster of this many 8-GPU
+	// nodes (0 = none). Only Lucid uses it.
+	ProfilerNodes int
+
+	// RecordTimeline keeps a per-job event log on the Result (see
+	// timeline.go). Off by default: large runs emit millions of events.
+	RecordTimeline bool
+}
+
+func (o Options) normalized(traceDays int) Options {
+	if o.Tick <= 0 {
+		o.Tick = 30
+	}
+	if o.SchedulerEvery <= 0 {
+		o.SchedulerEvery = 300
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 600
+	}
+	if o.MaxHorizon <= 0 {
+		days := traceDays
+		if days <= 0 {
+			days = 1
+		}
+		o.MaxHorizon = int64(days) * 86400 * 6
+	}
+	return o
+}
+
+// Sim is one simulation run.
+type Sim struct {
+	opts     Options
+	jobs     []*job.Job
+	byID     map[int]*job.Job
+	main     *cluster.Cluster
+	profiler *cluster.Cluster
+	sched    Scheduler
+
+	now        int64
+	arriveIdx  int
+	running    map[int]*job.Job // on the main cluster
+	profiling  map[int]*job.Job // on the profiling cluster
+	speeds     map[int]float64
+	finished   int
+	lastSched  int64
+	lastSample int64
+
+	utilSum, memSum float64
+	utilSamples     int
+
+	profileStart map[int]int64 // when each job started its current profiling run
+
+	// dirty records completions/preemptions since the last scheduler call,
+	// forcing an extra invocation so freed capacity is reused promptly.
+	dirty bool
+
+	// elastic maps job ID → current GPU allocation for elastically scheduled
+	// jobs (Pollux baseline); see elastic.go.
+	elastic map[int]int
+
+	// genSpeed caches each running job's GPU-generation speed factor (the
+	// minimum across its nodes — a distributed job goes at its slowest
+	// worker's pace). 1.0 on homogeneous clusters.
+	genSpeed map[int]float64
+
+	// timeline is the optional event log (Options.RecordTimeline).
+	timeline []TimelineEvent
+
+	// sharedStarts counts successful packed placements, and sharedGPUSum
+	// accumulates shared-GPU counts at sampling instants (packing-efficacy
+	// metrics for the §4.3 utilization claims).
+	sharedStarts int
+	sharedGPUSum float64
+}
+
+// New prepares a run of the scheduler over the trace.
+func New(tr *trace.Trace, sched Scheduler, opts Options) *Sim {
+	opts = opts.normalized(tr.Days)
+	s := &Sim{
+		opts:         opts,
+		main:         cluster.New(tr.Cluster),
+		sched:        sched,
+		running:      make(map[int]*job.Job),
+		profiling:    make(map[int]*job.Job),
+		speeds:       make(map[int]float64),
+		byID:         make(map[int]*job.Job),
+		profileStart: make(map[int]int64),
+		genSpeed:     make(map[int]float64),
+	}
+	if opts.ProfilerNodes > 0 {
+		s.profiler = cluster.New(cluster.Spec{
+			GPUsPerNode: 8,
+			GPUMemMB:    workload.GPUMemMBCap,
+			VCs:         []cluster.VCSpec{{Name: "profiler", Nodes: opts.ProfilerNodes}},
+		})
+	}
+	// Fresh runtime state per run: clone the jobs so a trace can be replayed
+	// under several schedulers.
+	s.jobs = make([]*job.Job, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		cp := *j
+		cp.State = job.Pending
+		cp.RemainingWork = float64(j.Duration)
+		cp.FirstStart = -1
+		cp.Finish = -1
+		cp.RunTime = 0
+		cp.Preemptions = 0
+		cp.ColdStart = 0
+		cp.AttainedGPUT = 0
+		cp.Profiled = false
+		s.jobs[i] = &cp
+		s.byID[cp.ID] = &cp
+	}
+	return s
+}
+
+// Run executes the simulation to completion (all jobs finished) or the
+// horizon, returning aggregate metrics.
+func (s *Sim) Run() *Result {
+	env := &Env{s: s}
+	for s.finished < len(s.jobs) && s.now < s.opts.MaxHorizon {
+		s.now += s.opts.Tick
+		s.advance(float64(s.opts.Tick))
+
+		arrived := s.admitArrivals()
+		if arrived || s.now-s.lastSched >= s.opts.SchedulerEvery || s.dirty {
+			s.dirty = false
+			s.sched.Tick(env)
+			s.lastSched = s.now
+		}
+		s.recomputeSpeeds()
+
+		if s.now-s.lastSample >= s.opts.SampleEvery {
+			s.sample()
+			s.lastSample = s.now
+		}
+	}
+	return s.collect()
+}
+
+// advance integrates dt seconds of execution for running and profiling
+// jobs, retiring completions.
+func (s *Sim) advance(dt float64) {
+	s.advanceSet(s.running, s.main, dt)
+	if s.profiler != nil {
+		s.advanceSet(s.profiling, s.profiler, dt)
+	}
+}
+
+func (s *Sim) advanceSet(set map[int]*job.Job, cl *cluster.Cluster, dt float64) {
+	var done []*job.Job
+	for id, j := range set {
+		eff := dt
+		if j.ColdStart > 0 {
+			// Checkpoint-restore overhead: wall clock passes, no progress.
+			if j.ColdStart >= eff {
+				j.ColdStart -= eff
+				j.RunTime += dt
+				continue
+			}
+			eff -= j.ColdStart
+			j.ColdStart = 0
+		}
+		speed := s.speeds[id]
+		if speed <= 0 {
+			speed = 1
+		}
+		progress := speed * eff
+		j.RunTime += dt
+		j.AttainedGPUT += dt * float64(j.GPUs)
+		if progress >= j.RemainingWork {
+			// Sub-tick completion timestamp.
+			used := j.RemainingWork / speed
+			j.Finish = s.now - int64(dt) + int64(dt-eff+used+0.5)
+			j.RemainingWork = 0
+			done = append(done, j)
+			continue
+		}
+		j.RemainingWork -= progress
+	}
+	for _, j := range done {
+		cl.Free(j.ID)
+		delete(set, j.ID)
+		delete(s.speeds, j.ID)
+		delete(s.profileStart, j.ID)
+		delete(s.elastic, j.ID)
+		delete(s.genSpeed, j.ID)
+		j.State = job.Finished
+		s.record(EvFinish, j.ID, j.GPUs, j.VC)
+		s.finished++
+		s.dirty = true
+	}
+}
+
+// admitArrivals releases jobs whose submit time has come.
+func (s *Sim) admitArrivals() bool {
+	any := false
+	for s.arriveIdx < len(s.jobs) && s.jobs[s.arriveIdx].Submit <= s.now {
+		// State stays Pending; schedulers decide what Pending means.
+		s.arriveIdx++
+		any = true
+	}
+	return any
+}
+
+// recomputeSpeeds refreshes execution speed for every main-cluster job from
+// its current colocation, and pins profiling jobs at full speed (the
+// profiler allocates exclusively).
+func (s *Sim) recomputeSpeeds() {
+	for id, j := range s.running {
+		gen := s.genSpeed[id]
+		if gen <= 0 {
+			gen = 1
+		}
+		if alloc, ok := s.elastic[id]; ok {
+			s.speeds[id] = elasticSpeed(alloc, j.GPUs) * gen
+			continue
+		}
+		partner := s.main.PartnerOf(id)
+		sp := 1.0
+		if partner >= 0 {
+			pj := s.byID[partner]
+			sa, _ := workload.PairSpeed(j.Config, pj.Config)
+			sp = sa
+			if j.Distributed() {
+				sp *= workload.CrossNodePenalty
+			}
+		}
+		s.speeds[id] = sp * gen
+	}
+	for id := range s.profiling {
+		s.speeds[id] = 1
+	}
+}
+
+// sample records cluster-wide GPU utilization and memory occupancy from the
+// profiles of resident jobs.
+func (s *Sim) sample() {
+	total := float64(s.main.TotalGPUs())
+	if total == 0 {
+		return
+	}
+	var util, mem float64
+	for id, j := range s.running {
+		p := j.Config.Profile()
+		sp := s.speeds[id]
+		n := float64(j.GPUs)
+		util += p.GPUUtil * sp * n
+		mem += p.GPUMemMB * n
+	}
+	maxUtil := total * 100
+	if util > maxUtil {
+		util = maxUtil
+	}
+	s.utilSum += util / maxUtil * 100
+	s.memSum += mem / (total * workload.GPUMemMBCap) * 100
+	_, shared := s.main.Occupancy()
+	s.sharedGPUSum += float64(shared)
+	s.utilSamples++
+}
+
+// Now returns the simulation clock (exposed for white-box tests).
+func (s *Sim) Now() int64 { return s.now }
+
+// StepOnce advances exactly one tick, invoking the scheduler once — used by
+// the Figure 10a latency benchmark to time a single scheduling decision
+// over a controlled queue.
+func (s *Sim) StepOnce() {
+	env := &Env{s: s}
+	s.now += s.opts.Tick
+	s.advance(float64(s.opts.Tick))
+	s.admitArrivals()
+	s.sched.Tick(env)
+	s.lastSched = s.now
+	s.recomputeSpeeds()
+}
+
+// Env is the scheduler's handle on the simulation.
+type Env struct {
+	s *Sim
+}
+
+// Now returns the simulation time in seconds.
+func (e *Env) Now() int64 { return e.s.now }
+
+// Pending returns submitted jobs not yet running or finished, in
+// (submit, id) order. It includes both Pending (never profiled) and Queued
+// (profiled, awaiting the main cluster) jobs; schedulers distinguish by
+// State.
+func (e *Env) Pending() []*job.Job {
+	var out []*job.Job
+	for _, j := range e.s.jobs[:e.s.arriveIdx] {
+		if j.State == job.Pending || j.State == job.Queued {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Running returns jobs executing on the main cluster, in id order.
+func (e *Env) Running() []*job.Job {
+	out := make([]*job.Job, 0, len(e.s.running))
+	for _, j := range e.s.running {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Profiling returns jobs on the profiling cluster, in id order.
+func (e *Env) Profiling() []*job.Job {
+	out := make([]*job.Job, 0, len(e.s.profiling))
+	for _, j := range e.s.profiling {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Cluster exposes the main cluster for capacity queries.
+func (e *Env) Cluster() *cluster.Cluster { return e.s.main }
+
+// ProfilerCluster exposes the profiling cluster (nil if not configured).
+func (e *Env) ProfilerCluster() *cluster.Cluster { return e.s.profiler }
+
+// StartExclusive places the job consolidated-and-exclusive on the main
+// cluster. Returns false if capacity is lacking.
+func (e *Env) StartExclusive(j *job.Job) bool {
+	return e.StartExclusivePrefer(j, cluster.PreferAny)
+}
+
+// StartExclusivePrefer is StartExclusive with a GPU-generation preference —
+// the §6 heterogeneity-aware placement extension.
+func (e *Env) StartExclusivePrefer(j *job.Job, pref cluster.Preference) bool {
+	if j.State == job.Running || j.State == job.Finished {
+		return false
+	}
+	mem := 0.0
+	if j.Profiled {
+		mem = j.Profile.GPUMemMB
+	}
+	gpus, err := e.s.main.AllocatePrefer(j.ID, j.VC, j.GPUs, mem, pref)
+	if err != nil {
+		return false
+	}
+	e.s.recordGenSpeed(j.ID, gpus)
+	e.s.startOn(j, e.s.running)
+	e.s.record(EvStart, j.ID, j.GPUs, j.VC)
+	return true
+}
+
+// recordGenSpeed caches the slowest generation factor across the job's
+// placement.
+func (s *Sim) recordGenSpeed(jobID int, gpus []cluster.GPUID) {
+	min := 0.0
+	for _, g := range gpus {
+		sp := s.main.SpeedOf(g)
+		if min == 0 || sp < min {
+			min = sp
+		}
+	}
+	if min <= 0 {
+		min = 1
+	}
+	s.genSpeed[jobID] = min
+}
+
+// StartShared packs the job onto partner's GPUs. The caller is responsible
+// for policy (GSS budgets, equal demand, …); the cluster enforces only the
+// two-job cap and the memory guard.
+func (e *Env) StartShared(j, partner *job.Job) bool {
+	if j.State == job.Running || j.State == job.Finished {
+		return false
+	}
+	if partner.State != job.Running || j.GPUs != partner.GPUs {
+		return false
+	}
+	mem := 0.0
+	if j.Profiled {
+		mem = j.Profile.GPUMemMB
+	}
+	gpus, err := e.s.main.AllocateShared(j.ID, partner.ID, mem)
+	if err != nil {
+		return false
+	}
+	e.s.recordGenSpeed(j.ID, gpus)
+	e.s.startOn(j, e.s.running)
+	e.s.sharedStarts++
+	e.s.record(EvStartShared, j.ID, j.GPUs, j.VC)
+	return true
+}
+
+func (s *Sim) startOn(j *job.Job, set map[int]*job.Job) {
+	j.State = job.Running
+	if j.FirstStart < 0 {
+		j.FirstStart = s.now
+	}
+	set[j.ID] = j
+	s.speeds[j.ID] = 1
+}
+
+// Preempt checkpoints a running job back to the queue (intrusive — Tiresias
+// only): remaining work is preserved, and overheadSec of cold-start cost is
+// charged when it next runs. Per §4.8 the paper measures 62 s per
+// preemption.
+func (e *Env) Preempt(j *job.Job, overheadSec float64) bool {
+	if j.State != job.Running {
+		return false
+	}
+	e.s.main.Free(j.ID)
+	delete(e.s.running, j.ID)
+	delete(e.s.speeds, j.ID)
+	delete(e.s.elastic, j.ID)
+	delete(e.s.genSpeed, j.ID)
+	j.State = job.Pending
+	j.Preemptions++
+	j.ColdStart += overheadSec
+	e.s.record(EvPreempt, j.ID, j.GPUs, j.VC)
+	e.s.dirty = true
+	return true
+}
+
+// StartProfiling places the job exclusively on the profiling cluster.
+func (e *Env) StartProfiling(j *job.Job) bool {
+	if e.s.profiler == nil || j.State != job.Pending {
+		return false
+	}
+	if _, err := e.s.profiler.Allocate(j.ID, "profiler", j.GPUs, 0); err != nil {
+		return false
+	}
+	j.State = job.Profiling
+	if j.FirstStart < 0 {
+		j.FirstStart = e.s.now
+	}
+	e.s.profiling[j.ID] = j
+	e.s.speeds[j.ID] = 1
+	e.s.profileStart[j.ID] = e.s.now
+	e.s.record(EvProfileStart, j.ID, j.GPUs, j.VC)
+	return true
+}
+
+// ProfilingElapsed returns seconds the job has spent in its current
+// profiling run (0 if not profiling).
+func (e *Env) ProfilingElapsed(j *job.Job) int64 {
+	start, ok := e.s.profileStart[j.ID]
+	if !ok {
+		return 0
+	}
+	return e.s.now - start
+}
+
+// StopProfiling ends the job's profiling run: the measured profile is
+// attached, the job restarts from zero progress (non-intrusive — no
+// checkpoint exists), and it joins the main queue as Queued.
+func (e *Env) StopProfiling(j *job.Job) {
+	if j.State != job.Profiling {
+		return
+	}
+	e.s.profiler.Free(j.ID)
+	delete(e.s.profiling, j.ID)
+	delete(e.s.speeds, j.ID)
+	delete(e.s.profileStart, j.ID)
+	j.State = job.Queued
+	j.Profiled = true
+	j.Profile = j.Config.Profile()
+	j.RemainingWork = float64(j.Duration) // restart: profiling work is lost
+	e.s.record(EvProfileStop, j.ID, j.GPUs, j.VC)
+	e.s.dirty = true
+}
+
+// AllJobs returns every job that has been submitted so far (any state), in
+// submit order. The Update Engine mines this for completed-job history.
+func (e *Env) AllJobs() []*job.Job {
+	return e.s.jobs[:e.s.arriveIdx]
+}
+
+// Admit moves a Pending job straight to Queued, bypassing the profiler —
+// used for jobs above the profiler's scale limit (§3.2) after their metrics
+// are observed on the fly.
+func (e *Env) Admit(j *job.Job) {
+	if j.State == job.Pending {
+		j.State = job.Queued
+	}
+}
+
+// ObserveOnTheFly attaches the job's profile without a profiling run —
+// §3.2: "Lucid collects the metrics of those large jobs on the fly". The
+// simulator grants the measurement immediately; in reality it converges
+// within the first minutes of execution.
+func (e *Env) ObserveOnTheFly(j *job.Job) {
+	j.Profiled = true
+	j.Profile = j.Config.Profile()
+}

@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// fifoLike is a minimal greedy scheduler for engine tests.
+type fifoLike struct{}
+
+func (fifoLike) Name() string { return "test-greedy" }
+func (fifoLike) Tick(env *Env) {
+	for _, j := range env.Pending() {
+		env.StartExclusive(j)
+	}
+}
+
+func tinySpec() cluster.Spec {
+	return cluster.Spec{GPUsPerNode: 8, GPUMemMB: workload.GPUMemMBCap,
+		VCs: []cluster.VCSpec{{Name: "vc", Nodes: 1}}}
+}
+
+func mkJob(id int, gpus int, submit, dur int64) *job.Job {
+	cfg := workload.Config{Model: workload.ResNet18, BatchSize: 64}
+	return job.New(id, "j", "u", "vc", gpus, submit, dur, cfg)
+}
+
+func mkTrace(jobs ...*job.Job) *trace.Trace {
+	return &trace.Trace{Name: "t", Cluster: tinySpec(), Jobs: jobs, Days: 1}
+}
+
+func TestSingleJobLifecycle(t *testing.T) {
+	tr := mkTrace(mkJob(1, 2, 0, 600))
+	res := New(tr, fifoLike{}, Options{Tick: 10}).Run()
+	if res.Unfinished != 0 {
+		t.Fatal("job did not finish")
+	}
+	j := res.Jobs[0]
+	if j.State != job.Finished {
+		t.Fatalf("state = %v", j.State)
+	}
+	// JCT ≈ duration (+ tick slop).
+	if jct := j.JCT(); jct < 600 || jct > 640 {
+		t.Fatalf("JCT = %d, want ≈600", jct)
+	}
+	if q := j.QueueDelay(); q > 30 {
+		t.Fatalf("queue delay = %d for an empty cluster", q)
+	}
+}
+
+func TestQueueingWhenFull(t *testing.T) {
+	// Two 8-GPU jobs on an 8-GPU cluster: the second must wait for the
+	// first.
+	tr := mkTrace(mkJob(1, 8, 0, 1000), mkJob(2, 8, 0, 1000))
+	res := New(tr, fifoLike{}, Options{Tick: 10}).Run()
+	if res.Unfinished != 0 {
+		t.Fatal("jobs did not finish")
+	}
+	j2 := res.Jobs[1]
+	if q := j2.QueueDelay(); q < 900 {
+		t.Fatalf("second job queue delay = %d, want ≈1000", q)
+	}
+	if res.MakespanSec < 1900 {
+		t.Fatalf("makespan = %d, want ≈2000", res.MakespanSec)
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	tr := mkTrace(mkJob(1, 8, 0, 500), mkJob(2, 8, 0, 500))
+	res := New(tr, fifoLike{}, Options{Tick: 10}).Run()
+	if res.AvgJCTSec <= 0 || res.AvgQueueSec <= 0 {
+		t.Fatalf("aggregates: %+v", res)
+	}
+	if len(res.JCTs()) != 2 || len(res.QueueDelays()) != 2 {
+		t.Fatal("per-job series wrong")
+	}
+	if res.PerVCQueueSec["vc"] <= 0 {
+		t.Fatal("per-VC queue missing")
+	}
+}
+
+// sharingSched packs job 2 with job 1.
+type sharingSched struct{}
+
+func (sharingSched) Name() string { return "test-sharing" }
+func (sharingSched) Tick(env *Env) {
+	pend := env.Pending()
+	for _, j := range pend {
+		if j.ID == 1 {
+			env.StartExclusive(j)
+		}
+	}
+	running := env.Running()
+	for _, j := range pend {
+		if j.ID == 2 && len(running) > 0 {
+			env.ObserveOnTheFly(j)
+			env.StartShared(j, running[0])
+		}
+	}
+}
+
+func TestSharedJobsRunSlower(t *testing.T) {
+	// Two identical ResNet-18 jobs (a Figure 3a "hard" pair) sharing GPUs
+	// must both take visibly longer than exclusive duration.
+	tr := mkTrace(mkJob(1, 2, 0, 1000), mkJob(2, 2, 0, 1000))
+	res := New(tr, sharingSched{}, Options{Tick: 10}).Run()
+	if res.Unfinished != 0 {
+		t.Fatalf("unfinished: %d", res.Unfinished)
+	}
+	j1 := res.Jobs[0]
+	if jct := j1.JCT(); jct < 1200 {
+		t.Fatalf("shared ResNet-18 JCT = %d, want ≥1200 (interference)", jct)
+	}
+	// But far less than serial execution.
+	if jct := res.Jobs[1].JCT(); jct > 1900 {
+		t.Fatalf("shared JCT %d worse than serializing", jct)
+	}
+}
+
+func TestSharedSpeedRecoversAfterPartnerExit(t *testing.T) {
+	// Job 1 is short; once it exits, job 2 should speed back up. Total JCT
+	// of job 2 must be < fully-shared estimate.
+	tr := mkTrace(mkJob(1, 2, 0, 200), mkJob(2, 2, 0, 2000))
+	res := New(tr, sharingSched{}, Options{Tick: 10}).Run()
+	j2 := res.Jobs[1]
+	if j2.Finish < 0 {
+		t.Fatal("job 2 unfinished")
+	}
+	// Shared-throughout at ~0.7 speed would take ~2860 s; partner exits
+	// after ~290 s, so expect ≈2100-2300.
+	if jct := j2.JCT(); jct > 2600 {
+		t.Fatalf("job 2 JCT = %d; speed did not recover after partner exit", jct)
+	}
+}
+
+// preemptSched starts job 1 then preempts it when job 2 arrives.
+type preemptSched struct{ preempted bool }
+
+func (p *preemptSched) Name() string { return "test-preempt" }
+func (p *preemptSched) Tick(env *Env) {
+	pend := env.Pending() // captured before preemption: excludes the victim
+	for _, j := range pend {
+		if j.ID == 2 && !p.preempted {
+			for _, r := range env.Running() {
+				if r.ID == 1 {
+					env.Preempt(r, 62)
+					p.preempted = true
+				}
+			}
+		}
+	}
+	for _, j := range pend {
+		env.StartExclusive(j)
+	}
+	if p.preempted {
+		// Victim restarts only once the cluster frees up.
+		for _, j := range env.Pending() {
+			env.StartExclusive(j)
+		}
+	}
+}
+
+func TestPreemptionPreservesWorkWithOverhead(t *testing.T) {
+	tr := mkTrace(mkJob(1, 8, 0, 1000), mkJob(2, 8, 300, 300))
+	res := New(tr, &preemptSched{}, Options{Tick: 10}).Run()
+	j1, j2 := res.Jobs[0], res.Jobs[1]
+	if j1.Finish < 0 || j2.Finish < 0 {
+		t.Fatal("unfinished jobs")
+	}
+	if j1.Preemptions != 1 {
+		t.Fatalf("preemptions = %d", j1.Preemptions)
+	}
+	// Job 1: ran ~300 s, preempted, job 2 runs 300 s, then job 1 resumes
+	// with 62 s cold start and ~700 s remaining → JCT ≈ 300+300+62+700.
+	if jct := j1.JCT(); jct < 1300 || jct > 1500 {
+		t.Fatalf("preempted job JCT = %d, want ≈1362", jct)
+	}
+}
+
+// profSched profiles every job for up to 100 s, then runs it exclusively.
+type profSched struct{ tprof int64 }
+
+func (p *profSched) Name() string { return "test-profiler" }
+func (p *profSched) Tick(env *Env) {
+	for _, j := range env.Profiling() {
+		if env.ProfilingElapsed(j) >= p.tprof {
+			env.StopProfiling(j)
+		}
+	}
+	for _, j := range env.Pending() {
+		switch j.State {
+		case job.Pending:
+			env.StartProfiling(j)
+		case job.Queued:
+			env.StartExclusive(j)
+		}
+	}
+}
+
+func TestProfilingLifecycle(t *testing.T) {
+	// Short job finishes inside the profiler; long job is profiled, evicted,
+	// restarted on the main cluster.
+	tr := mkTrace(mkJob(1, 1, 0, 50), mkJob(2, 1, 0, 500))
+	// SchedulerEvery must be tight enough to enforce the profiling timeout
+	// promptly (Lucid runs configure this too).
+	s := New(tr, &profSched{tprof: 100}, Options{Tick: 10, SchedulerEvery: 10, ProfilerNodes: 1})
+	res := s.Run()
+	if res.Unfinished != 0 {
+		t.Fatalf("unfinished: %d", res.Unfinished)
+	}
+	j1, j2 := res.Jobs[0], res.Jobs[1]
+	// Debug job: immediate feedback, JCT ≈ duration.
+	if jct := j1.JCT(); jct > 100 {
+		t.Fatalf("debug job JCT = %d, want ≈50", jct)
+	}
+	if j1.Profiled {
+		t.Fatal("job finishing inside the profiler never gets a profile")
+	}
+	if !j2.Profiled {
+		t.Fatal("long job should carry a profile")
+	}
+	// Long job restarts after profiling: JCT ≈ Tprof + duration.
+	if jct := j2.JCT(); jct < 580 || jct > 700 {
+		t.Fatalf("profiled job JCT = %d, want ≈600 (100 profiling + 500 rerun)", jct)
+	}
+	if j2.Profile.GPUUtil <= 0 {
+		t.Fatal("profile not attached")
+	}
+}
+
+func TestDistributedJobCrossNodePenaltyWhenPacked(t *testing.T) {
+	// Same pair on a 16-GPU job (2 nodes): packed speed must be lower than
+	// the single-node pair speed by the cross-node penalty.
+	spec := cluster.Spec{GPUsPerNode: 8, GPUMemMB: workload.GPUMemMBCap,
+		VCs: []cluster.VCSpec{{Name: "vc", Nodes: 4}}}
+	j1 := mkJob(1, 16, 0, 1000)
+	j2 := mkJob(2, 16, 0, 1000)
+	tr := &trace.Trace{Name: "t", Cluster: spec, Jobs: []*job.Job{j1, j2}, Days: 1}
+	res := New(tr, sharingSched{}, Options{Tick: 10}).Run()
+	pairSpeed, _ := workload.PairSpeed(j1.Config, j2.Config)
+	wantMin := 1000 / (pairSpeed * workload.CrossNodePenalty) * 0.9
+	if jct := float64(res.Jobs[0].JCT()); jct < wantMin {
+		t.Fatalf("distributed packed JCT %v; cross-node penalty not applied (want ≥ %v)", jct, wantMin)
+	}
+}
+
+func TestHorizonStopsRunaway(t *testing.T) {
+	// A job that can never be placed (too many GPUs) must not hang Run.
+	tr := mkTrace(mkJob(1, 9, 0, 100)) // 9 > 8 per node, 1 node
+	res := New(tr, fifoLike{}, Options{Tick: 60, MaxHorizon: 3600}).Run()
+	if res.Unfinished != 1 {
+		t.Fatalf("unfinished = %d, want 1", res.Unfinished)
+	}
+}
+
+func TestElasticScheduling(t *testing.T) {
+	// One elastic job at half allocation runs at (0.5)^0.85 speed.
+	j := mkJob(1, 8, 0, 1000)
+	tr := mkTrace(j)
+	s := New(tr, elasticHalf{}, Options{Tick: 10})
+	res := s.Run()
+	if res.Unfinished != 0 {
+		t.Fatal("unfinished")
+	}
+	want := 1000 / elasticSpeed(4, 8)
+	got := float64(res.Jobs[0].JCT())
+	if got < want*0.95 || got > want*1.1 {
+		t.Fatalf("elastic JCT = %v, want ≈%v", got, want)
+	}
+}
+
+type elasticHalf struct{}
+
+func (elasticHalf) Name() string { return "test-elastic" }
+func (elasticHalf) Tick(env *Env) {
+	for _, j := range env.Pending() {
+		env.StartElastic(j, j.GPUs/2)
+	}
+}
+
+func TestUtilizationSampling(t *testing.T) {
+	tr := mkTrace(mkJob(1, 8, 0, 4000))
+	res := New(tr, fifoLike{}, Options{Tick: 10, SampleEvery: 100}).Run()
+	if res.AvgGPUUtilPct <= 0 || res.AvgGPUMemPct <= 0 {
+		t.Fatalf("no utilization samples: %+v", res)
+	}
+	if res.AvgGPUUtilPct > 100 || res.AvgGPUMemPct > 100 {
+		t.Fatalf("utilization out of range: %+v", res)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 1); p != 10 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 0.5); p != 5 && p != 6 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	vals, frac := CDF([]float64{3, 1, 2})
+	if vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("CDF vals = %v", vals)
+	}
+	if frac[2] != 1 {
+		t.Fatalf("CDF frac = %v", frac)
+	}
+}
+
+func TestRunIsRepeatable(t *testing.T) {
+	mk := func() *Result {
+		tr := mkTrace(mkJob(1, 2, 0, 500), mkJob(2, 4, 100, 700), mkJob(3, 8, 200, 300))
+		return New(tr, fifoLike{}, Options{Tick: 10}).Run()
+	}
+	a, b := mk(), mk()
+	if a.AvgJCTSec != b.AvgJCTSec || a.MakespanSec != b.MakespanSec {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestTraceReusableAcrossRuns(t *testing.T) {
+	// New() clones jobs, so running twice from one trace must not corrupt
+	// the second run.
+	tr := mkTrace(mkJob(1, 8, 0, 500), mkJob(2, 8, 0, 500))
+	r1 := New(tr, fifoLike{}, Options{Tick: 10}).Run()
+	r2 := New(tr, fifoLike{}, Options{Tick: 10}).Run()
+	if r1.AvgJCTSec != r2.AvgJCTSec {
+		t.Fatal("trace state leaked between runs")
+	}
+	for _, j := range tr.Jobs {
+		if j.State != job.Pending || j.Finish != -1 {
+			t.Fatal("original trace jobs mutated")
+		}
+	}
+}

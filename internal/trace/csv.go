@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+// csvHeader is the column layout WriteCSV emits and ReadCSV expects.
+var csvHeader = []string{
+	"id", "name", "user", "vc", "gpus", "submit", "duration",
+	"model", "batch", "amp",
+}
+
+// WriteCSV serializes the trace's job list (cluster layout is not included;
+// regenerate it from the GenSpec or record it separately).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, j := range t.Jobs {
+		amp := "0"
+		if j.Config.AMP {
+			amp = "1"
+		}
+		rec := []string{
+			strconv.Itoa(j.ID), j.Name, j.User, j.VC,
+			strconv.Itoa(j.GPUs),
+			strconv.FormatInt(j.Submit, 10),
+			strconv.FormatInt(j.Duration, 10),
+			j.Config.Model.Name(),
+			strconv.Itoa(j.Config.BatchSize),
+			amp,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses jobs previously written by WriteCSV.
+func ReadCSV(r io.Reader) ([]*job.Job, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != "id" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", rows[0])
+	}
+	jobs := make([]*job.Job, 0, len(rows)-1)
+	for i, rec := range rows[1:] {
+		id, err1 := strconv.Atoi(rec[0])
+		gpus, err2 := strconv.Atoi(rec[4])
+		submit, err3 := strconv.ParseInt(rec[5], 10, 64)
+		dur, err4 := strconv.ParseInt(rec[6], 10, 64)
+		batch, err5 := strconv.Atoi(rec[8])
+		for _, e := range []error{err1, err2, err3, err4, err5} {
+			if e != nil {
+				return nil, fmt.Errorf("trace: row %d: %w", i+2, e)
+			}
+		}
+		cfg, ok := workload.ConfigByName(rec[7], batch, rec[9] == "1")
+		if !ok {
+			return nil, fmt.Errorf("trace: row %d: unknown config %s/%s", i+2, rec[7], rec[8])
+		}
+		jobs = append(jobs, job.New(id, rec[1], rec[2], rec[3], gpus, submit, dur, cfg))
+	}
+	sortBySubmit(jobs)
+	return jobs, nil
+}

@@ -1,0 +1,89 @@
+package workload
+
+// SharingScore is the ternary packing-friendliness category §3.5.1 assigns
+// to each job: Tiny jobs hardly slow partners down, Jumbo jobs demand
+// caution, Medium sits between.
+type SharingScore int
+
+const (
+	Tiny   SharingScore = 0
+	Medium SharingScore = 1
+	Jumbo  SharingScore = 2
+)
+
+// String returns the category name used throughout the paper.
+func (s SharingScore) String() string {
+	switch s {
+	case Tiny:
+		return "Tiny"
+	case Medium:
+		return "Medium"
+	case Jumbo:
+		return "Jumbo"
+	default:
+		return "Invalid"
+	}
+}
+
+// Thresholds are the (Medium, Tiny) normalized-speed cut points of §3.5.1.
+// A config whose average effect on partners is ≥ Tiny is Tiny; ≥ Medium is
+// Medium; below is Jumbo. §4.5 picks (0.85, 0.95) as the default because it
+// "well balances job packing opportunity and interference".
+type Thresholds struct {
+	Medium float64
+	Tiny   float64
+}
+
+// DefaultThresholds is the paper's default (0.85, 0.95).
+var DefaultThresholds = Thresholds{Medium: 0.85, Tiny: 0.95}
+
+// GroundTruthScore computes the config's true Sharing Score by the paper's
+// labeling procedure: measure colocation against every Table 1 configuration
+// and average the *partner's* normalized speed — i.e. how much this config
+// hurts others (§3.5.1: "assign a Sharing Score to each model configuration
+// based on its colocation influence on others").
+func GroundTruthScore(c Config, th Thresholds) SharingScore {
+	avg := MeanPartnerSpeed(c)
+	switch {
+	case avg >= th.Tiny:
+		return Tiny
+	case avg >= th.Medium:
+		return Medium
+	default:
+		return Jumbo
+	}
+}
+
+// MeanPartnerSpeed returns the average normalized speed partners retain when
+// colocated with c, over all Table 1 configurations.
+func MeanPartnerSpeed(c Config) float64 {
+	sum, n := 0.0, 0
+	for _, p := range AllConfigs() {
+		_, sp := PairSpeed(c, p) // sp = partner's speed
+		sum += sp
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// LabeledExample is one row of the Packing Analyze Model's training set: the
+// non-intrusive profile features plus the ground-truth category.
+type LabeledExample struct {
+	Profile Profile
+	Score   SharingScore
+}
+
+// LabeledDataset builds the characterization dataset the Packing Analyze
+// Model trains on: every Table 1 configuration with its ground-truth Sharing
+// Score under the given thresholds.
+func LabeledDataset(th Thresholds) []LabeledExample {
+	configs := AllConfigs()
+	out := make([]LabeledExample, 0, len(configs))
+	for _, c := range configs {
+		out = append(out, LabeledExample{Profile: c.Profile(), Score: GroundTruthScore(c, th)})
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestScoreCategoriesAllPresent(t *testing.T) {
+	counts := map[SharingScore]int{}
+	for _, c := range AllConfigs() {
+		counts[GroundTruthScore(c, DefaultThresholds)]++
+	}
+	for _, s := range []SharingScore{Tiny, Medium, Jumbo} {
+		if counts[s] == 0 {
+			t.Errorf("no config labeled %v; distribution: %v", s, counts)
+		}
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	// PPO (near idle) must be Tiny; BERT (95 % util, bandwidth heavy) must
+	// not be Tiny.
+	ppo := GroundTruthScore(cfg(PPO, 64, false), DefaultThresholds)
+	if ppo != Tiny {
+		t.Errorf("PPO labeled %v, want Tiny", ppo)
+	}
+	bert := GroundTruthScore(cfg(BERT, 32, false), DefaultThresholds)
+	if bert == Tiny {
+		t.Errorf("BERT labeled Tiny; it saturates the GPU")
+	}
+}
+
+func TestMeanPartnerSpeedBounds(t *testing.T) {
+	for _, c := range AllConfigs() {
+		v := MeanPartnerSpeed(c)
+		if v <= 0 || v > 1 {
+			t.Fatalf("%v: mean partner speed %v out of (0,1]", c, v)
+		}
+	}
+}
+
+func TestThresholdMonotonicity(t *testing.T) {
+	// Loosening thresholds can only move labels toward Tiny.
+	loose := Thresholds{Medium: 0.75, Tiny: 0.90}
+	for _, c := range AllConfigs() {
+		d := GroundTruthScore(c, DefaultThresholds)
+		l := GroundTruthScore(c, loose)
+		if l > d {
+			t.Errorf("%v: looser thresholds produced stricter label (%v > %v)", c, l, d)
+		}
+	}
+}
+
+func TestLabeledDataset(t *testing.T) {
+	ds := LabeledDataset(DefaultThresholds)
+	if len(ds) != len(AllConfigs()) {
+		t.Fatalf("dataset size %d != catalog size %d", len(ds), len(AllConfigs()))
+	}
+	for _, ex := range ds {
+		if ex.Score < Tiny || ex.Score > Jumbo {
+			t.Fatalf("invalid score %v", ex.Score)
+		}
+	}
+}
+
+func TestScoreStrings(t *testing.T) {
+	if Tiny.String() != "Tiny" || Medium.String() != "Medium" || Jumbo.String() != "Jumbo" {
+		t.Fatal("bad score strings")
+	}
+	if SharingScore(9).String() != "Invalid" {
+		t.Fatal("out-of-range score should stringify as Invalid")
+	}
+}
+
+func TestLearnCurveSaturates(t *testing.T) {
+	rng := xrand.New(1)
+	curve := EfficientNetCurve.Generate(200, false, 1, rng)
+	if len(curve) != 200 {
+		t.Fatal("wrong length")
+	}
+	best := Best(curve)
+	if best < 88.5 || best > 91.5 {
+		t.Fatalf("best accuracy %v, want ≈89.84", best)
+	}
+	// Later epochs must beat early ones on average.
+	early := mean(curve[:20])
+	late := mean(curve[180:])
+	if late <= early {
+		t.Fatalf("no learning: early=%v late=%v", early, late)
+	}
+}
+
+func TestAdaptiveTrainingDegradesAccuracy(t *testing.T) {
+	// Figure 14b: Pollux's adaptive batch sizing costs >2 accuracy points.
+	rng1, rng2 := xrand.New(2), xrand.New(2)
+	plain := Best(EfficientNetCurve.Generate(200, false, 1, rng1))
+	adaptive := Best(EfficientNetCurve.Generate(200, true, 4, rng2))
+	if plain-adaptive < 1.0 {
+		t.Fatalf("adaptive training should degrade accuracy: plain=%v adaptive=%v", plain, adaptive)
+	}
+}
+
+func TestAdaptivePenaltyMonotone(t *testing.T) {
+	if AdaptiveBatchPenalty(1) != 0 || AdaptiveBatchPenalty(0.5) != 0 {
+		t.Fatal("no penalty at or below 1× inflation")
+	}
+	if AdaptiveBatchPenalty(2) >= AdaptiveBatchPenalty(4) {
+		t.Fatal("penalty must grow with inflation")
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
