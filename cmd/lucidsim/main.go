@@ -5,16 +5,28 @@
 //
 //	lucidsim -trace venus -sched lucid -scale 0.2
 //	lucidsim -trace philly -sched all
+//	lucidsim -trace venus -sched lucid -decision-trace out.jsonl -invariants
+//	lucidsim -summarize out.jsonl
+//
+// With -decision-trace, every scheduling decision is streamed as JSONL to
+// the given path (one file per scheduler when -sched all; the scheduler
+// name is inserted before the extension) and a trace summary with the
+// deterministic digest is printed. -summarize replays a previously written
+// trace and prints the same summary without running a simulation.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/dtrace"
 	"repro/internal/lab"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -23,7 +35,18 @@ func main() {
 	schedName := flag.String("sched", "all", "scheduler: fifo | sjf | qssf | horus | tiresias | lucid | all")
 	scale := flag.Float64("scale", 0.2, "fraction of the Table 2 job count to replay (0 < s ≤ 1)")
 	util := flag.String("util", "M", "workload utilization mix: L | M | H (Figure 12a)")
+	decisionTrace := flag.String("decision-trace", "", "write a JSONL decision trace to this path and print its summary")
+	invariants := flag.Bool("invariants", false, "check engine invariants every tick and report violations")
+	summarize := flag.String("summarize", "", "summarize an existing JSONL decision trace and exit")
 	flag.Parse()
+
+	if *summarize != "" {
+		if err := summarizeFile(*summarize); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	spec, ok := specByName(*traceName)
 	if !ok {
@@ -55,14 +78,82 @@ func main() {
 			continue
 		}
 		ran = true
+		if *invariants {
+			nr.Opts.Invariants = sim.NewInvariantChecker(false)
+		}
+		var rec *dtrace.Recorder
+		var closeTrace func() error
+		if *decisionTrace != "" {
+			rec = dtrace.New()
+			rec.SetKeep(0) // summary counters only; the sink holds the trace
+			path := tracePath(*decisionTrace, nr.Name, want == "all")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			bw := bufio.NewWriter(f)
+			rec.SetSink(bw)
+			closeTrace = func() error {
+				if err := bw.Flush(); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}
+			nr.Opts.DecisionTrace = rec
+			fmt.Printf("decision trace → %s\n", path)
+		}
 		t0 := time.Now()
 		res := w.Run(nr)
 		fmt.Printf("%s  (wall %.1fs)\n", res.Summary(), time.Since(t0).Seconds())
+		if res.Violations > 0 {
+			for _, v := range res.ViolationSamples {
+				fmt.Printf("  violation: %s\n", v)
+			}
+		}
+		if rec != nil {
+			if err := closeTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := rec.SinkErr(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(rec.Summary().String())
+			fmt.Println()
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedName)
 		os.Exit(2)
 	}
+}
+
+// tracePath inserts the scheduler name before the extension when several
+// schedulers share one -decision-trace flag.
+func tracePath(base, sched string, multi bool) string {
+	if !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + strings.ToLower(sched) + ext
+}
+
+// summarizeFile replays a JSONL decision trace and prints its summary.
+func summarizeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := dtrace.ReadJSONL(bufio.NewReader(f))
+	if err != nil {
+		return err
+	}
+	fmt.Print(dtrace.SummarizeEvents(events).String())
+	return nil
 }
 
 func specByName(name string) (trace.GenSpec, bool) {

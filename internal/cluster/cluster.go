@@ -413,6 +413,68 @@ func (c *Cluster) Occupancy() (single, shared int) {
 	return single, shared
 }
 
+// Audit validates the cluster's physical invariants and internal
+// consistency, returning human-readable violation descriptions (empty =
+// healthy). It is the substrate half of the simulator's InvariantChecker:
+// per-GPU sharing never exceeds the two-job cap, reserved memory never
+// exceeds device capacity, and the job→GPU index agrees with the per-GPU
+// job lists in both directions.
+func (c *Cluster) Audit() []string {
+	var out []string
+	held := map[int]int{} // job → GPUs referencing it in per-GPU lists
+	for _, nd := range c.nodes {
+		for i := range nd.gpus {
+			st := &nd.gpus[i]
+			if len(st.jobs) > c.maxShare {
+				out = append(out, fmt.Sprintf(
+					"gpu %d/%d hosts %d jobs, cap %d", nd.id, i, len(st.jobs), c.maxShare))
+			}
+			// Tiny epsilon absorbs float accumulation from repeated
+			// reserve/release cycles.
+			if st.memUsed > c.spec.GPUMemMB+1e-6 {
+				out = append(out, fmt.Sprintf(
+					"gpu %d/%d memory %.1f MB exceeds capacity %.1f MB",
+					nd.id, i, st.memUsed, c.spec.GPUMemMB))
+			}
+			seen := map[int]bool{}
+			for _, id := range st.jobs {
+				if seen[id] {
+					out = append(out, fmt.Sprintf("gpu %d/%d lists job %d twice", nd.id, i, id))
+				}
+				seen[id] = true
+				held[id]++
+				if _, ok := c.jobGPUs[id]; !ok {
+					out = append(out, fmt.Sprintf(
+						"gpu %d/%d hosts job %d with no allocation record", nd.id, i, id))
+				}
+			}
+		}
+	}
+	for id, gpus := range c.jobGPUs {
+		if held[id] != len(gpus) {
+			out = append(out, fmt.Sprintf(
+				"job %d allocation records %d GPUs but %d GPUs host it", id, len(gpus), held[id]))
+		}
+		for _, g := range gpus {
+			if g.Node < 0 || g.Node >= len(c.nodes) || g.Index < 0 || g.Index >= c.spec.GPUsPerNode {
+				out = append(out, fmt.Sprintf("job %d holds out-of-range GPU %v", id, g))
+				continue
+			}
+			found := false
+			for _, jid := range c.nodes[g.Node].gpus[g.Index].jobs {
+				if jid == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, fmt.Sprintf("job %d claims GPU %v which does not host it", id, g))
+			}
+		}
+	}
+	return out
+}
+
 // VCOf returns the VC that owns the node hosting g.
 func (c *Cluster) VCOf(g GPUID) string { return c.nodes[g.Node].vc }
 

@@ -270,3 +270,46 @@ func TestVCOf(t *testing.T) {
 		t.Fatalf("VCOf = %q", got)
 	}
 }
+
+// TestAuditCleanAndCorrupt: Audit must stay silent on any state reachable
+// through the public API and speak up when the books are cooked.
+func TestAuditCleanAndCorrupt(t *testing.T) {
+	c := twoVC()
+	if _, err := c.Allocate(1, "vcA", 2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocateShared(2, 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if probs := c.Audit(); len(probs) != 0 {
+		t.Fatalf("clean cluster audits dirty: %v", probs)
+	}
+
+	// Cook the books: a GPU hosts a job the ledger has no record of.
+	c.nodes[0].gpus[0].jobs = append(c.nodes[0].gpus[0].jobs, 99)
+	probs := c.Audit()
+	if len(probs) == 0 {
+		t.Fatal("audit missed a ghost job on a GPU")
+	}
+
+	// And the reverse: the ledger claims a GPU the device list denies.
+	c2 := twoVC()
+	if _, err := c2.Allocate(1, "vcA", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	held := c2.jobGPUs[1][0]
+	c2.jobGPUs[1] = append(c2.jobGPUs[1], GPUID{Node: held.Node, Index: held.Index + 1})
+	if probs := c2.Audit(); len(probs) == 0 {
+		t.Fatal("audit missed a ledger overclaim")
+	}
+
+	// Over-capacity sharing: three jobs on one device busts maxShare.
+	c3 := twoVC()
+	c3.nodes[0].gpus[0].jobs = []int{1, 2, 3}
+	c3.jobGPUs[1] = []GPUID{{0, 0}}
+	c3.jobGPUs[2] = []GPUID{{0, 0}}
+	c3.jobGPUs[3] = []GPUID{{0, 0}}
+	if probs := c3.Audit(); len(probs) == 0 {
+		t.Fatal("audit missed a maxShare violation")
+	}
+}

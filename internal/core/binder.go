@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sort"
+
+	"repro/internal/dtrace"
 	"repro/internal/job"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -98,54 +101,132 @@ func (b *Binder) gssNow() int {
 // (Algorithm 2's CheckSharingStrategy).
 func (b *Binder) SharingEnabled() bool { return b.mode != PackDisabled }
 
+// PackExplain collects the Binder's reasoning for one packing decision —
+// the interpretability payload of a pack/pack-reject decision-trace event.
+type PackExplain struct {
+	// Reason names the rule that prevented packing entirely (set when
+	// FindPartnerExplain returns nil).
+	Reason string
+	// ChosenScore is the chosen pairing's combined GPU utilization (the
+	// Binder's deciding metric; lower is better).
+	ChosenScore float64
+	// Candidates are the same-VC, same-demand running jobs the Binder
+	// examined and did not choose, each with the rule that rejected it (or
+	// "runner-up" for viable but worse-scored pairings) and, where the
+	// partner is profiled, the pairing's combined utilization. Sorted
+	// best-scored first (scoreless rejects last), so truncating to K keeps
+	// the most informative counterfactuals.
+	Candidates []dtrace.Alternative
+}
+
+// fail records the decision-killing rule (nil-safe).
+func (ex *PackExplain) fail(reason string) {
+	if ex != nil {
+		ex.Reason = reason
+	}
+}
+
+// add records an examined candidate (nil-safe).
+func (ex *PackExplain) add(id int, score float64, reason string) {
+	if ex != nil {
+		ex.Candidates = append(ex.Candidates, dtrace.Alternative{Job: id, Score: score, Reason: reason})
+	}
+}
+
 // FindPartner returns the best running job to pack j with, or nil
 // (Algorithm 2's CheckAffineJobPair). score gives each job's Sharing Score;
 // remaining estimates a running job's remaining seconds.
 func (b *Binder) FindPartner(env *sim.Env, j *job.Job,
 	score func(*job.Job) workload.SharingScore,
 	remaining func(*job.Job) float64) *job.Job {
+	return b.FindPartnerExplain(env, j, score, remaining, nil)
+}
 
-	if !b.SharingEnabled() || !j.Profiled {
+// FindPartnerExplain is FindPartner with an optional explanation collector
+// for decision tracing. Passing nil costs nothing extra — the default
+// FindPartner path.
+func (b *Binder) FindPartnerExplain(env *sim.Env, j *job.Job,
+	score func(*job.Job) workload.SharingScore,
+	remaining func(*job.Job) float64, ex *PackExplain) *job.Job {
+
+	if !b.SharingEnabled() {
+		ex.fail("sharing-disabled")
+		return nil
+	}
+	if !j.Profiled {
+		ex.fail("unprofiled")
 		return nil
 	}
 	if j.Distributed() {
-		return nil // rule 5
+		ex.fail("distributed") // rule 5
+		return nil
 	}
 	gss := b.gssNow()
 	sj := score(j)
 	if b.Indolent && int(sj) > gss {
-		return nil // a job too heavy for any partner under the budget
+		ex.fail("score-over-budget") // a job too heavy for any partner under the budget
+		return nil
 	}
 
 	memCap := workload.GPUMemMBCap * (1 - b.MemMarginFrac)
 	var best *job.Job
 	bestKey := 1e18
 	for _, r := range env.Running() {
-		if r.VC != j.VC || r.GPUs != j.GPUs || r.Distributed() {
-			continue // rules 2 and 5 (same demand, no distributed partners)
+		if r.VC != j.VC || r.GPUs != j.GPUs {
+			continue // rule 2 (same VC and demand); not a meaningful counterfactual
 		}
-		if !r.Profiled {
+		if r.Distributed() {
+			ex.add(r.ID, 0, "distributed-partner") // rule 5
 			continue
 		}
+		if !r.Profiled {
+			ex.add(r.ID, 0, "unprofiled-partner")
+			continue
+		}
+		key := j.Profile.GPUUtil + r.Profile.GPUUtil
 		if env.Cluster().PartnerOf(r.ID) >= 0 {
-			continue // rule 3: two jobs max
+			ex.add(r.ID, key, "has-partner") // rule 3: two jobs max
+			continue
 		}
 		if j.Profile.GPUMemMB+r.Profile.GPUMemMB > memCap {
-			continue // rule 1: OOM guard
+			ex.add(r.ID, key, "oom-guard") // rule 1: hard memory limit
+			continue
 		}
 		if b.Indolent && int(sj)+int(score(r)) > gss {
-			continue // Indolent Packing: sharing-score budget
+			ex.add(r.ID, key, "score-budget") // Indolent Packing: sharing-score budget
+			continue
 		}
 		if b.TimeAwarePack && remaining != nil {
 			if rem := remaining(r); rem < b.MinRemainSec {
-				continue // partner about to exit; packing buys nothing
+				ex.add(r.ID, key, "ending-soon") // partner about to exit; packing buys nothing
+				continue
 			}
 		}
 		// Prefer the least-contended pairing: lowest combined utilization.
-		key := j.Profile.GPUUtil + r.Profile.GPUUtil
 		if key < bestKey {
+			if best != nil {
+				ex.add(best.ID, bestKey, "runner-up")
+			}
 			bestKey, best = key, r
+		} else {
+			ex.add(r.ID, key, "runner-up")
 		}
+	}
+	if ex != nil {
+		if best == nil {
+			ex.fail("no-viable-partner")
+		} else {
+			ex.ChosenScore = bestKey
+		}
+		// Best-scored counterfactuals first; rejects without a computable
+		// score sink to the end.
+		sort.SliceStable(ex.Candidates, func(a, c int) bool {
+			ca, cc := ex.Candidates[a], ex.Candidates[c]
+			if (ca.Score > 0) != (cc.Score > 0) {
+				return ca.Score > 0
+			}
+			return ca.Score < cc.Score
+		})
 	}
 	return best
 }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dtrace"
+	"repro/internal/job"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// binderProbe is a harness scheduler: on every tick it asks the Binder for
+// a partner for each waiting job (recording the outcome), then places the
+// job exclusively so it becomes partner material for later arrivals.
+type binderProbe struct {
+	b      *Binder
+	score  func(*job.Job) workload.SharingScore
+	prof   workload.Profile
+	found  map[int]int    // probe job → chosen partner
+	reason map[int]string // probe job → rule that prevented packing
+}
+
+func newBinderProbe(b *Binder, score func(*job.Job) workload.SharingScore) *binderProbe {
+	return &binderProbe{b: b, score: score,
+		prof:  workload.Profile{GPUUtil: 0.3, GPUMemMB: 4000, GPUMemUtil: 0.2},
+		found: map[int]int{}, reason: map[int]string{}}
+}
+
+func (bp *binderProbe) Name() string { return "binder-probe" }
+func (bp *binderProbe) Tick(env *sim.Env) {
+	for _, j := range env.Pending() {
+		j.Profiled = true
+		j.Profile = bp.prof
+		ex := &PackExplain{}
+		if p := bp.b.FindPartnerExplain(env, j, bp.score, nil, ex); p != nil {
+			bp.found[j.ID] = p.ID
+		} else {
+			bp.reason[j.ID] = ex.Reason
+		}
+		env.StartExclusive(j)
+	}
+}
+
+func probeSpec() cluster.Spec {
+	return cluster.Spec{GPUsPerNode: 8, GPUMemMB: workload.GPUMemMBCap,
+		VCs: []cluster.VCSpec{{Name: "vc", Nodes: 1}}}
+}
+
+// probeTrace: job 1 arrives first (the future partner), job 2 probes it.
+func probeTrace() *trace.Trace {
+	cfg := workload.Config{Model: workload.ResNet18, BatchSize: 64}
+	return &trace.Trace{Name: "probe", Cluster: probeSpec(), Days: 1,
+		Jobs: []*job.Job{
+			job.New(1, "a", "u", "vc", 1, 0, 8000, cfg),
+			job.New(2, "b", "u", "vc", 1, 300, 8000, cfg),
+		}}
+}
+
+func runProbe(t *testing.T, b *Binder, score func(*job.Job) workload.SharingScore) *binderProbe {
+	t.Helper()
+	bp := newBinderProbe(b, score)
+	opts := sim.Options{Tick: 60, SchedulerEvery: 60, MaxHorizon: 3600,
+		Invariants: sim.NewInvariantChecker(true)}
+	res := sim.New(probeTrace(), bp, opts).Run()
+	if res.Violations > 0 {
+		t.Fatalf("violations: %v", res.ViolationSamples)
+	}
+	return bp
+}
+
+const constTiny, constMedium, constJumbo = workload.Tiny, workload.Medium, workload.Jumbo
+
+func constScore(s workload.SharingScore) func(*job.Job) workload.SharingScore {
+	return func(*job.Job) workload.SharingScore { return s }
+}
+
+// TestBinderGSSZero: GSS 0 is a legal, ultra-conservative budget — only
+// score-0 (Tiny) pairs may share. core.New clamps GSS ≤ 0 to the default,
+// so the field is driven directly.
+func TestBinderGSSZero(t *testing.T) {
+	b := NewBinder()
+	b.GSS = 0
+
+	// Tiny + Tiny = 0 ≤ 0: packs.
+	bp := runProbe(t, b, constScore(constTiny))
+	if bp.found[2] != 1 {
+		t.Fatalf("Tiny pair must pack under GSS=0; outcome: found=%v reason=%v", bp.found, bp.reason)
+	}
+
+	// Medium scores 1 > 0: the job itself busts the budget before any
+	// partner is examined.
+	b2 := NewBinder()
+	b2.GSS = 0
+	bp = runProbe(t, b2, constScore(constMedium))
+	if _, ok := bp.found[2]; ok {
+		t.Fatal("Medium job packed under GSS=0")
+	}
+	if bp.reason[2] != "score-over-budget" {
+		t.Fatalf("reason = %q, want score-over-budget", bp.reason[2])
+	}
+}
+
+// TestBinderGSSWide: GSS 4 admits pairings the default budget forbids —
+// two Jumbos sum to 4.
+func TestBinderGSSWide(t *testing.T) {
+	// Default GSS=2 rejects the Jumbo pair at the partner check.
+	bp := runProbe(t, NewBinder(), constScore(constJumbo))
+	if _, ok := bp.found[2]; ok {
+		t.Fatal("Jumbo pair packed under default GSS=2")
+	}
+
+	b := NewBinder()
+	b.GSS = 4
+	bp = runProbe(t, b, constScore(constJumbo))
+	if bp.found[2] != 1 {
+		t.Fatalf("Jumbo pair must pack under GSS=4; reason=%v", bp.reason)
+	}
+}
+
+// TestEstimatorNoRecurrence: a history where every job name and user is
+// unique (zero recurring-job signal, the feature the estimator leans on
+// most) must still train and produce sane positive estimates.
+func TestEstimatorNoRecurrence(t *testing.T) {
+	cfgs := workload.AllConfigs()
+	jobs := make([]*job.Job, 300)
+	for i := range jobs {
+		j := job.New(i+1, fmt.Sprintf("unique-%d", i), fmt.Sprintf("solo-%d", i),
+			"vc", 1<<(i%4), int64(i)*600, 500+int64(i%37)*977, cfgs[i%len(cfgs)])
+		jobs[i] = j
+	}
+	est, err := TrainWorkloadEstimator(jobs)
+	if err != nil {
+		t.Fatalf("train on recurrence-free history: %v", err)
+	}
+	probe := job.New(9001, "never-seen", "new-user", "vc", 2, 0, 0,
+		workload.Config{Model: workload.ResNet50, BatchSize: 64})
+	EnsureProfiles([]*job.Job{probe})
+	if got := est.EstimateSec(probe); got < 60 {
+		t.Fatalf("estimate %v below the 60 s floor", got)
+	}
+}
+
+// TestLucidWithoutProfilerPartition: ProfilerNodes=0 removes the profiling
+// cluster entirely; every job must take the observe-on-the-fly path
+// (visible in the decision trace), finish, and violate nothing.
+func TestLucidWithoutProfilerPartition(t *testing.T) {
+	spec := trace.Venus()
+	spec.Name = "noprof"
+	spec.Nodes = 4
+	spec.NumVCs = 2
+	spec.NumJobs = 600
+	spec.Days = 3
+	g := trace.NewGenerator(spec)
+	hist := g.Emit(600)
+	models, err := TrainModels(hist, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := g.Emit(120)
+
+	rec := dtrace.New()
+	rec.SetKeep(0)
+	opts := sim.Options{Tick: 60, SchedulerEvery: 60, ProfilerNodes: 0,
+		DecisionTrace: rec, Invariants: sim.NewInvariantChecker(true)}
+	res := sim.New(eval, New(models, DefaultConfig()), opts).Run()
+	if res.Violations > 0 {
+		t.Fatalf("violations: %v", res.ViolationSamples)
+	}
+	if res.Unfinished > 0 {
+		t.Fatalf("%d jobs unfinished without a profiler partition", res.Unfinished)
+	}
+	sum := rec.Summary()
+	if sum.Reasons["profile-skip/no-profiler-partition"] == 0 {
+		t.Fatalf("no on-the-fly profiling decisions recorded; reasons: %v", sum.Reasons)
+	}
+	if sum.Actions[string(dtrace.ActProfileStart)] > 0 {
+		t.Fatalf("profiling started with no partition; actions: %v", sum.Actions)
+	}
+}

@@ -102,6 +102,16 @@ func (w *WorkloadEstimator) EstimateSec(j *job.Job) float64 {
 // features).
 func (w *WorkloadEstimator) Invalidate(jobID int) { delete(w.cache, jobID) }
 
+// Clone returns an estimator backed by the same fitted model but with its
+// own cache and update lineage: Update on the clone refits the clone only.
+// One training pass can then serve many independent scheduler runs without
+// state from one run leaking into the next.
+func (w *WorkloadEstimator) Clone() *WorkloadEstimator {
+	cp := *w
+	cp.cache = map[int]float64{}
+	return &cp
+}
+
 // Explain returns the local interpretation of one prediction — Figure 7c.
 func (w *WorkloadEstimator) Explain(j *job.Job) (intercept float64, contribs []gam.Contribution) {
 	return w.model.Explain(w.feat.Features(j))

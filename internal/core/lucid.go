@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/dtrace"
 	"repro/internal/job"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -89,6 +90,21 @@ func TrainModels(history *trace.Trace, cfg Config) (*Models, error) {
 		return nil, err
 	}
 	return &Models{Analyzer: analyzer, Estimator: est, Throughput: tp, History: history.Jobs}, nil
+}
+
+// Clone returns a Models whose run-mutable state (the estimator's cache and
+// update lineage, the throughput model's live observation window) is
+// private to the clone. The fitted model weights, the analyzer (pure at
+// inference time) and the history slice (read-only) are shared. Every
+// independent scheduler run should get its own clone — otherwise one run's
+// online updates leak into the next and repeated runs diverge.
+func (m *Models) Clone() *Models {
+	return &Models{
+		Analyzer:   m.Analyzer,
+		Estimator:  m.Estimator.Clone(),
+		Throughput: m.Throughput.Clone(),
+		History:    m.History,
+	}
 }
 
 // Lucid is the scheduler (Figure 4): Profiler → Binder → Orchestrator,
@@ -261,6 +277,11 @@ func (l *Lucid) orchestrate(env *sim.Env) {
 		return queued[a].ID < queued[b].ID
 	})
 
+	rec := env.Trace()
+	if rec.Enabled() {
+		l.traceOrder(env, queued, now)
+	}
+
 	sharing := !l.cfg.DisableSharing && l.binder.SharingEnabled()
 	var remaining func(*job.Job) float64
 	if !l.cfg.DisableEstimator {
@@ -268,14 +289,92 @@ func (l *Lucid) orchestrate(env *sim.Env) {
 	}
 	for _, j := range queued {
 		if sharing {
-			if p := l.binder.FindPartner(env, j, l.score, remaining); p != nil {
+			var p *job.Job
+			if rec.Enabled() {
+				p = l.findPartnerTraced(env, j, remaining, now)
+			} else {
+				p = l.binder.FindPartner(env, j, l.score, remaining)
+			}
+			if p != nil {
 				if env.StartShared(j, p) {
 					continue
 				}
 			}
 		}
-		env.StartExclusivePrefer(j, l.placementPref(j))
+		pref := l.placementPref(j)
+		if rec.Enabled() && pref == cluster.PreferFast {
+			// Heterogeneity steering (§6): explain why this job targets the
+			// newest generation. The estimate is the deciding score.
+			env.Annotate(j.ID, "steer-long-job-to-fast-generation",
+				l.models.Estimator.EstimateSec(j), 0, nil)
+		}
+		env.StartExclusivePrefer(j, pref)
 	}
+}
+
+// traceOrder records the Resource Orchestrator's queue-ordering decision:
+// the job granted the head of the queue, its priority score, and the top-K
+// jobs it was preferred over — Figure 12's "why does job A go before job
+// B?" answer.
+func (l *Lucid) traceOrder(env *sim.Env, queued []*job.Job, now int64) {
+	head := queued[0]
+	reason := "min-gpu-demand-x-estimate"
+	switch {
+	case l.cfg.DisableEstimator:
+		reason = "submit-order"
+	case l.cfg.FairnessAgingSec > 0:
+		reason = "min-gpu-demand-x-estimate-aged"
+	}
+	k := env.Trace().TopK()
+	var alts []dtrace.Alternative
+	for _, j := range queued[1:] {
+		if len(alts) >= k {
+			break
+		}
+		alts = append(alts, dtrace.Alternative{
+			Job: j.ID, Score: l.priority(j, now), Reason: "behind-in-queue"})
+	}
+	env.Trace().Record(dtrace.Event{
+		Tick: now, Job: head.ID, Action: dtrace.ActOrder, Reason: reason,
+		VC: head.VC, GPUs: head.GPUs, Score: l.priority(head, now),
+		Alternatives: alts,
+	})
+}
+
+// findPartnerTraced runs the Binder with an explanation collector and
+// records the outcome: a pack annotation (consumed by the engine's pack
+// event) carrying the counterfactual partner list and a regret score, or a
+// pack-reject event naming the Indolent rule that fired.
+func (l *Lucid) findPartnerTraced(env *sim.Env, j *job.Job,
+	remaining func(*job.Job) float64, now int64) *job.Job {
+
+	ex := &PackExplain{}
+	p := l.binder.FindPartnerExplain(env, j, l.score, remaining, ex)
+	if p == nil {
+		// Only an explicit rule firing is a decision worth a record;
+		// "no-viable-partner" with zero candidates just means an empty VC.
+		if ex.Reason != "no-viable-partner" || len(ex.Candidates) > 0 {
+			env.Trace().Record(dtrace.Event{
+				Tick: now, Job: j.ID, Action: dtrace.ActPackReject, Reason: ex.Reason,
+				VC: j.VC, GPUs: j.GPUs, Alternatives: ex.Candidates,
+			})
+		}
+		return nil
+	}
+	// Regret over every examined pairing with a computable score, including
+	// rule-rejected ones with a better (lower) combined utilization: a
+	// positive value quantifies what the Indolent safety rules cost on this
+	// decision. Scoreless candidates (unprofiled partners) are excluded —
+	// their 0 is "unknown", not "idle".
+	var scored []dtrace.Alternative
+	for _, a := range ex.Candidates {
+		if a.Score > 0 {
+			scored = append(scored, a)
+		}
+	}
+	regret := dtrace.Regret(ex.ChosenScore, scored, true)
+	env.Annotate(j.ID, "indolent-pack", ex.ChosenScore, regret, ex.Candidates)
+	return p
 }
 
 // placementPref steers long jobs to fast GPU generations (§6 extension).

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/dtrace"
 	"repro/internal/job"
 	"repro/internal/sim"
 )
@@ -87,9 +89,18 @@ func (p *Profiler) CurrentTprof() int64 {
 // onProfiled is invoked for each job that leaves the profiler with a fresh
 // profile.
 func (p *Profiler) Step(env *sim.Env, onProfiled func(*job.Job)) {
+	rec := env.Trace()
+
 	// CheckRunningJobs: evict jobs that exceeded the limit.
 	for _, j := range env.Profiling() {
-		if env.ProfilingElapsed(j) >= p.CurrentTprof() {
+		if elapsed := env.ProfilingElapsed(j); elapsed >= p.CurrentTprof() {
+			if rec.Enabled() {
+				// The engine's profile-stop event inherits this as its
+				// reason: the Time-aware limit, not job completion, ended
+				// the run.
+				env.Annotate(j.ID, fmt.Sprintf("tprof-exceeded-%ds", p.CurrentTprof()),
+					float64(elapsed), 0, nil)
+			}
 			env.StopProfiling(j)
 			onProfiled(j)
 		}
@@ -100,6 +111,11 @@ func (p *Profiler) Step(env *sim.Env, onProfiled func(*job.Job)) {
 		// No profiling partition: everything is observed on the fly.
 		for _, j := range env.Pending() {
 			if j.State == job.Pending {
+				if rec.Enabled() {
+					rec.Record(dtrace.Event{Tick: env.Now(), Job: j.ID,
+						Action: dtrace.ActProfileSkip, Reason: "no-profiler-partition",
+						VC: j.VC, GPUs: j.GPUs})
+				}
 				env.ObserveOnTheFly(j)
 				env.Admit(j)
 				onProfiled(j)
@@ -123,6 +139,13 @@ func (p *Profiler) Step(env *sim.Env, onProfiled func(*job.Job)) {
 			continue
 		}
 		if j.GPUs > effLimit {
+			if rec.Enabled() {
+				// §3.2: oversized jobs skip profiling, metrics on the fly.
+				// Score carries the effective scale limit that excluded it.
+				rec.Record(dtrace.Event{Tick: env.Now(), Job: j.ID,
+					Action: dtrace.ActProfileSkip, Reason: "exceeds-scale-limit",
+					VC: j.VC, GPUs: j.GPUs, Score: float64(effLimit)})
+			}
 			env.ObserveOnTheFly(j)
 			env.Admit(j)
 			onProfiled(j)

@@ -55,6 +55,15 @@ func (t *ThroughputModel) Observe(count float64) {
 	}
 }
 
+// Clone returns a forecaster sharing the fitted model but with its own
+// live observation window, so independent scheduler runs don't feed each
+// other's Observe calls.
+func (t *ThroughputModel) Clone() *ThroughputModel {
+	cp := *t
+	cp.recent = append([]float64(nil), t.recent...)
+	return &cp
+}
+
 // ForecastNextHour predicts the coming hour's submissions. hourOfDay and
 // dayIndex anchor the calendar features to simulated time.
 func (t *ThroughputModel) ForecastNextHour(hourOfDay, dayIndex int) float64 {

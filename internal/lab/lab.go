@@ -115,7 +115,9 @@ func (w *World) Schedulers() []NamedRun {
 		{"QSSF", sched.NewQSSF(w.Estimator), SimOpts()},
 		{"Horus", sched.NewHorus(w.Estimator, w.Spec.Seed), SimOpts()},
 		{"Tiresias", sched.NewTiresias(), SimOpts()},
-		{"Lucid", core.New(w.Models, cfg), LucidOpts(w.Spec)},
+		// Clone: Lucid's Update Engine and online forecaster mutate model
+		// state; a clone keeps repeated Schedulers() calls independent.
+		{"Lucid", core.New(w.Models.Clone(), cfg), LucidOpts(w.Spec)},
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/dtrace"
 	"repro/internal/job"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -43,6 +44,10 @@ type profile struct {
 // minSamples before a job is considered profiled.
 const minSamples = 3
 
+// traceKeep bounds the in-memory decision-trace window the /trace endpoint
+// serves; summary counters still cover the server's whole lifetime.
+const traceKeep = 4096
+
 // Server is the HTTP control plane.
 type Server struct {
 	mu       sync.Mutex
@@ -51,6 +56,11 @@ type Server struct {
 	analyzer *core.PackingAnalyzer
 	est      *core.WorkloadEstimator
 	mux      *http.ServeMux
+	// rec is the decision-trace flight recorder behind /trace: job
+	// registrations, profile completions and every /schedule ordering
+	// decision are recorded with their reasoning. The recorder is
+	// internally synchronized; it is used outside s.mu.
+	rec *dtrace.Recorder
 }
 
 // NewServer trains the interpretable models (on a synthetic history month,
@@ -67,17 +77,21 @@ func NewServer() (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := dtrace.New()
+	rec.SetKeep(traceKeep)
 	s := &Server{
 		nextID:   1,
 		jobs:     map[int]*jobState{},
 		analyzer: analyzer,
 		est:      est,
 		mux:      http.NewServeMux(),
+		rec:      rec,
 	}
 	s.mux.HandleFunc("/jobs", s.handleJobs)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/models/packing", s.handlePackingModel)
+	s.mux.HandleFunc("/trace", s.handleTrace)
 	return s, nil
 }
 
@@ -111,6 +125,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.jobs[id] = js
 		s.refreshLocked(js)
 		s.mu.Unlock()
+		s.rec.Record(dtrace.Event{Job: id, Action: dtrace.ActRelease,
+			Reason: "registered", VC: js.VC, GPUs: js.GPUs})
 		writeJSON(w, http.StatusCreated, js)
 	case http.MethodGet:
 		s.mu.Lock()
@@ -152,6 +168,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	js.Profile.GPUMemUtil = (js.Profile.GPUMemUtil*n + req.GPUMemUtil) / (n + 1)
 	js.Samples++
 	s.refreshLocked(js)
+	if js.Samples == minSamples {
+		// The job just crossed the profiling threshold: from here on the
+		// analyzer scores it from real metrics instead of the Jumbo prior.
+		s.rec.Record(dtrace.Event{Job: js.ID, Action: dtrace.ActProfileStop,
+			Reason: "min-samples-reached", VC: js.VC, GPUs: js.GPUs,
+			Score: js.Profile.GPUUtil})
+	}
 	writeJSON(w, http.StatusOK, js)
 }
 
@@ -191,7 +214,52 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		return out[i].ID < out[j].ID
 	})
+	if len(out) > 0 {
+		// Record the ordering decision: who leads the queue and why, plus
+		// the runners-up with their priority keys as counterfactuals.
+		head := out[0]
+		ev := dtrace.Event{Job: head.ID, Action: dtrace.ActOrder,
+			Reason: "min-gpu-demand-x-estimate", VC: head.VC, GPUs: head.GPUs,
+			Score: float64(head.GPUs) * head.EstSec}
+		for _, js := range out[1:] {
+			if len(ev.Alternatives) >= s.rec.TopK() {
+				break
+			}
+			ev.Alternatives = append(ev.Alternatives, dtrace.Alternative{
+				Job: js.ID, Score: float64(js.GPUs) * js.EstSec,
+				Reason: "behind-in-queue"})
+		}
+		s.rec.Record(ev)
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTrace serves the decision-trace flight recorder: a JSON document
+// with the deterministic digest, the lifetime summary and the retained
+// event window, or the raw retained events as JSONL with ?format=jsonl.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := s.rec.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Digest  string         `json:"digest"`
+		Count   int64          `json:"count"`
+		Summary dtrace.Summary `json:"summary"`
+		Events  []dtrace.Event `json:"events"`
+	}{
+		Digest:  s.rec.Digest(),
+		Count:   s.rec.Summary().Total,
+		Summary: s.rec.Summary(),
+		Events:  s.rec.Events(),
+	})
 }
 
 // handlePackingModel renders the decision tree (system transparency, A5).

@@ -129,6 +129,97 @@ func TestPackingModelEndpoint(t *testing.T) {
 	}
 }
 
+func TestTraceEndpoint(t *testing.T) {
+	s := testServer(t)
+	// Make sure at least one decision exists: register a job and take a
+	// schedule snapshot.
+	do(t, s, http.MethodPost, "/jobs", `{"name":"traced","user":"eve","vc":"vc1","gpus":1}`)
+	do(t, s, http.MethodGet, "/schedule", "")
+
+	rec := do(t, s, http.MethodGet, "/trace", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace status %d", rec.Code)
+	}
+	var out struct {
+		Digest  string `json:"digest"`
+		Count   int64  `json:"count"`
+		Summary struct {
+			Actions map[string]int64 `json:"actions"`
+		} `json:"summary"`
+		Events []map[string]any `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Digest) != 16 || out.Count == 0 || len(out.Events) == 0 {
+		t.Fatalf("trace payload: digest=%q count=%d events=%d", out.Digest, out.Count, len(out.Events))
+	}
+	if out.Summary.Actions["release"] == 0 {
+		t.Fatalf("no registration decisions recorded: %v", out.Summary.Actions)
+	}
+	if out.Summary.Actions["order"] == 0 {
+		t.Fatalf("no ordering decisions recorded: %v", out.Summary.Actions)
+	}
+
+	// JSONL form: one valid JSON object per line.
+	rec = do(t, s, http.MethodGet, "/trace?format=jsonl", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("jsonl status %d", rec.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty jsonl trace")
+	}
+	for i, ln := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v: %q", i+1, err, ln)
+		}
+	}
+
+	if rec := do(t, s, http.MethodPost, "/trace", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /trace allowed: %d", rec.Code)
+	}
+}
+
+// TestConcurrentRequests hammers every endpoint from parallel goroutines —
+// meaningful under `go test -race`, where it catches any unsynchronized
+// access to the job table or the flight recorder.
+func TestConcurrentRequests(t *testing.T) {
+	s := testServer(t)
+	rec := do(t, s, http.MethodPost, "/jobs", `{"name":"racer","user":"r","vc":"vc0","gpus":1}`)
+	var js jobState
+	if err := json.Unmarshal(rec.Body.Bytes(), &js); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					do(t, s, http.MethodPost, "/jobs", `{"name":"race-burst","user":"r","vc":"vc0","gpus":2}`)
+				case 1:
+					do(t, s, http.MethodPost, "/metrics",
+						`{"job":`+itoa(js.ID)+`,"gpu_util":40,"gpu_mem_mb":3000,"gpu_mem_util":12}`)
+				case 2:
+					do(t, s, http.MethodGet, "/schedule", "")
+				case 3:
+					do(t, s, http.MethodGet, "/trace", "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if rec := do(t, s, http.MethodGet, "/trace", ""); rec.Code != http.StatusOK {
+		t.Fatalf("trace after hammering: %d", rec.Code)
+	}
+}
+
 func itoa(n int) string {
 	b, _ := json.Marshal(n)
 	return string(b)

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 
+	"repro/internal/dtrace"
 	"repro/internal/job"
 )
 
@@ -39,6 +40,7 @@ func (e *Env) StartElastic(j *job.Job, gpus int) bool {
 	e.s.elastic[j.ID] = gpus
 	e.s.startOn(j, e.s.running)
 	e.s.record(EvStartElastic, j.ID, gpus, j.VC)
+	e.s.trace(dtrace.ActPlaceElastic, j, "elastic", 0)
 	return true
 }
 

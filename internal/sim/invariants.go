@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+)
+
+// InvariantChecker machine-checks the engine's physical invariants after
+// every tick (enable via Options.Invariants):
+//
+//   - per-GPU capacity: at most two jobs per GPU and reserved memory within
+//     device capacity (the substrate half, cluster.Audit);
+//   - allocation consistency: the running/profiling sets, job states, and
+//     cluster allocation records agree in both directions;
+//   - causality: no job runs before its submission or after its retirement,
+//     and retired jobs hold no GPUs;
+//   - non-intrusiveness: a job leaving the profiler restarts from zero
+//     progress (checked at the StopProfiling transition).
+//
+// With Fatal set, the first violation panics — the property tests run this
+// way so a broken engine fails loudly. Otherwise violations are counted and
+// sampled onto Result.Violations / Result.ViolationSamples.
+type InvariantChecker struct {
+	// Fatal panics on the first violation (tests).
+	Fatal bool
+	// MaxSamples bounds the retained violation descriptions.
+	MaxSamples int
+
+	count   int
+	samples []string
+}
+
+// NewInvariantChecker returns a checker; fatal selects panic-on-violation.
+func NewInvariantChecker(fatal bool) *InvariantChecker {
+	return &InvariantChecker{Fatal: fatal, MaxSamples: 8}
+}
+
+// Count returns the number of violations observed so far.
+func (c *InvariantChecker) Count() int { return c.count }
+
+// Samples returns up to MaxSamples violation descriptions.
+func (c *InvariantChecker) Samples() []string {
+	return append([]string(nil), c.samples...)
+}
+
+func (c *InvariantChecker) violate(format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	if c.Fatal {
+		panic("sim: invariant violation: " + msg)
+	}
+	c.count++
+	if len(c.samples) < c.MaxSamples {
+		c.samples = append(c.samples, msg)
+	}
+}
+
+// checkInvariants validates the whole engine state against the checker.
+// Called once per tick when Options.Invariants is set; never on the
+// default path.
+func (s *Sim) checkInvariants() {
+	c := s.opts.Invariants
+	if c == nil {
+		return
+	}
+	for _, v := range s.main.Audit() {
+		c.violate("tick %d: main cluster: %s", s.now, v)
+	}
+	if s.profiler != nil {
+		for _, v := range s.profiler.Audit() {
+			c.violate("tick %d: profiler cluster: %s", s.now, v)
+		}
+	}
+
+	for id, j := range s.running {
+		if j.State != job.Running {
+			c.violate("tick %d: job %d in running set with state %v", s.now, id, j.State)
+		}
+		if !s.main.Allocated(id) {
+			c.violate("tick %d: job %d running without a main-cluster allocation", s.now, id)
+		} else {
+			want := j.GPUs
+			if alloc, ok := s.elastic[id]; ok {
+				want = alloc
+			}
+			if got := len(s.main.GPUsOf(id)); got != want {
+				c.violate("tick %d: job %d holds %d GPUs, expected %d", s.now, id, got, want)
+			}
+		}
+		if j.Submit > s.now {
+			c.violate("tick %d: job %d runs before its submission at %d", s.now, id, j.Submit)
+		}
+		if j.FirstStart >= 0 && j.FirstStart < j.Submit {
+			c.violate("tick %d: job %d first start %d precedes submission %d",
+				s.now, id, j.FirstStart, j.Submit)
+		}
+		if j.Finish >= 0 {
+			c.violate("tick %d: job %d runs after its retirement at %d", s.now, id, j.Finish)
+		}
+		if _, also := s.profiling[id]; also {
+			c.violate("tick %d: job %d on both clusters at once", s.now, id)
+		}
+	}
+
+	for id, j := range s.profiling {
+		if j.State != job.Profiling {
+			c.violate("tick %d: job %d in profiling set with state %v", s.now, id, j.State)
+		}
+		if s.profiler == nil || !s.profiler.Allocated(id) {
+			c.violate("tick %d: job %d profiling without a profiler allocation", s.now, id)
+		}
+		if s.main.Allocated(id) {
+			c.violate("tick %d: profiling job %d also holds main-cluster GPUs", s.now, id)
+		}
+		if j.Submit > s.now {
+			c.violate("tick %d: job %d profiles before its submission at %d", s.now, id, j.Submit)
+		}
+	}
+
+	for i, j := range s.jobs {
+		if i >= s.arriveIdx {
+			// Not yet submitted: the scheduler must never have touched it.
+			if j.State != job.Pending || j.FirstStart >= 0 || s.main.Allocated(j.ID) {
+				c.violate("tick %d: job %d touched before submission (state %v)",
+					s.now, j.ID, j.State)
+			}
+			continue
+		}
+		switch j.State {
+		case job.Running:
+			if _, ok := s.running[j.ID]; !ok {
+				c.violate("tick %d: job %d state Running but not in the running set", s.now, j.ID)
+			}
+		case job.Profiling:
+			if _, ok := s.profiling[j.ID]; !ok {
+				c.violate("tick %d: job %d state Profiling but not in the profiling set", s.now, j.ID)
+			}
+		case job.Finished:
+			if s.main.Allocated(j.ID) || (s.profiler != nil && s.profiler.Allocated(j.ID)) {
+				c.violate("tick %d: retired job %d still holds GPUs", s.now, j.ID)
+			}
+			if j.Finish < j.Submit {
+				c.violate("tick %d: job %d finished at %d before submission %d",
+					s.now, j.ID, j.Finish, j.Submit)
+			}
+			if j.RemainingWork != 0 {
+				c.violate("tick %d: retired job %d has %.1f s of work left",
+					s.now, j.ID, j.RemainingWork)
+			}
+		default: // Pending, Queued
+			if s.main.Allocated(j.ID) {
+				c.violate("tick %d: job %d state %v but holds main-cluster GPUs",
+					s.now, j.ID, j.State)
+			}
+			// Non-intrusiveness: a Queued job has either never run on the
+			// main cluster or was returned by the profiler — either way no
+			// checkpoint exists, so its remaining work must be the full
+			// duration. (Preemption, the one legal progress-preserving
+			// path, parks jobs as Pending with ColdStart > 0.)
+			if j.State == job.Queued && j.ColdStart == 0 && j.RemainingWork != float64(j.Duration) {
+				c.violate("tick %d: queued job %d kept %.1f s of progress across a restart",
+					s.now, j.ID, float64(j.Duration)-j.RemainingWork)
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/dtrace"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// The Options.DecisionTrace=nil hot path must cost one pointer check —
+// compare BenchmarkSimTracingOff against BenchmarkSimTracingOn (in-memory
+// recorder) and BenchmarkSimInvariantsOn (per-tick checker):
+//
+//	go test ./internal/sim/ -run '^$' -bench BenchmarkSim -count 5
+func benchSim(b *testing.B, mkOpts func() sim.Options) {
+	tr := randomTrace(xrand.New(7), 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.New(tr, sched.NewFIFO(), mkOpts()).Run()
+		if res.Violations > 0 {
+			b.Fatalf("violations: %v", res.ViolationSamples)
+		}
+	}
+}
+
+func BenchmarkSimTracingOff(b *testing.B) {
+	benchSim(b, func() sim.Options { return sim.Options{Tick: 30, SchedulerEvery: 60} })
+}
+
+func BenchmarkSimTracingOn(b *testing.B) {
+	benchSim(b, func() sim.Options {
+		rec := dtrace.New()
+		rec.SetKeep(0)
+		return sim.Options{Tick: 30, SchedulerEvery: 60, DecisionTrace: rec}
+	})
+}
+
+func BenchmarkSimInvariantsOn(b *testing.B) {
+	benchSim(b, func() sim.Options {
+		return sim.Options{Tick: 30, SchedulerEvery: 60,
+			Invariants: sim.NewInvariantChecker(false)}
+	})
+}

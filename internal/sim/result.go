@@ -33,6 +33,12 @@ type Result struct {
 
 	// Timeline is the per-job event log (only when Options.RecordTimeline).
 	Timeline []TimelineEvent
+
+	// Violations counts engine-invariant violations observed during the run
+	// (only when Options.Invariants is set and non-fatal);
+	// ViolationSamples holds the first few descriptions.
+	Violations       int
+	ViolationSamples []string
 }
 
 func (s *Sim) collect() *Result {
@@ -80,6 +86,10 @@ func (s *Sim) collect() *Result {
 	}
 	r.SharedStarts = s.sharedStarts
 	r.Timeline = s.timeline
+	if c := s.opts.Invariants; c != nil {
+		r.Violations = c.Count()
+		r.ViolationSamples = c.Samples()
+	}
 	return r
 }
 
@@ -199,6 +209,9 @@ func (r *Result) Summary() string {
 		r.Scheduler, r.AvgJCTHours(), r.AvgQueueHours(), r.P999QueueHours(), r.MakespanHours(), r.AvgGPUUtilPct, r.AvgGPUMemPct, r.SharedStarts)
 	if r.Unfinished > 0 {
 		fmt.Fprintf(&sb, " UNFINISHED=%d", r.Unfinished)
+	}
+	if r.Violations > 0 {
+		fmt.Fprintf(&sb, " VIOLATIONS=%d", r.Violations)
 	}
 	return sb.String()
 }

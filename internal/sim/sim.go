@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/dtrace"
 	"repro/internal/job"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -51,6 +52,17 @@ type Options struct {
 	// RecordTimeline keeps a per-job event log on the Result (see
 	// timeline.go). Off by default: large runs emit millions of events.
 	RecordTimeline bool
+
+	// DecisionTrace records every scheduling decision — engine state
+	// transitions plus scheduler-annotated reasoning and counterfactuals —
+	// on the given flight recorder (see internal/dtrace). Nil (the
+	// default) disables tracing; the engine then pays only a nil check.
+	DecisionTrace *dtrace.Recorder
+
+	// Invariants validates the engine's physical invariants after every
+	// tick (see InvariantChecker). Nil (the default) disables checking;
+	// violations otherwise surface on Result.Violations.
+	Invariants *InvariantChecker
 }
 
 func (o Options) normalized(traceDays int) Options {
@@ -111,6 +123,10 @@ type Sim struct {
 
 	// timeline is the optional event log (Options.RecordTimeline).
 	timeline []TimelineEvent
+
+	// pendAnn holds scheduler-provided explanations awaiting their engine
+	// event (decision tracing only; see dtrace.go).
+	pendAnn map[int]annotation
 
 	// sharedStarts counts successful packed placements, and sharedGPUSum
 	// accumulates shared-GPU counts at sampling instants (packing-efficacy
@@ -173,8 +189,14 @@ func (s *Sim) Run() *Result {
 			s.dirty = false
 			s.sched.Tick(env)
 			s.lastSched = s.now
+			// Unconsumed annotations would mislabel a later, unrelated
+			// event; a scheduler round's explanations die with the round.
+			if len(s.pendAnn) > 0 {
+				clear(s.pendAnn)
+			}
 		}
 		s.recomputeSpeeds()
+		s.checkInvariants()
 
 		if s.now-s.lastSample >= s.opts.SampleEvery {
 			s.sample()
@@ -224,6 +246,14 @@ func (s *Sim) advanceSet(set map[int]*job.Job, cl *cluster.Cluster, dt float64) 
 		}
 		j.RemainingWork -= progress
 	}
+	// done was collected in map-iteration order; retire in ID order so the
+	// event stream (and therefore the decision-trace digest) is identical
+	// across same-seed runs.
+	sort.Slice(done, func(i, k int) bool { return done[i].ID < done[k].ID })
+	retireReason := "finished"
+	if cl == s.profiler {
+		retireReason = "finished-while-profiling"
+	}
 	for _, j := range done {
 		cl.Free(j.ID)
 		delete(set, j.ID)
@@ -233,6 +263,7 @@ func (s *Sim) advanceSet(set map[int]*job.Job, cl *cluster.Cluster, dt float64) 
 		delete(s.genSpeed, j.ID)
 		j.State = job.Finished
 		s.record(EvFinish, j.ID, j.GPUs, j.VC)
+		s.trace(dtrace.ActRetire, j, retireReason, 0)
 		s.finished++
 		s.dirty = true
 	}
@@ -243,6 +274,7 @@ func (s *Sim) admitArrivals() bool {
 	any := false
 	for s.arriveIdx < len(s.jobs) && s.jobs[s.arriveIdx].Submit <= s.now {
 		// State stays Pending; schedulers decide what Pending means.
+		s.trace(dtrace.ActRelease, s.jobs[s.arriveIdx], "submitted", 0)
 		s.arriveIdx++
 		any = true
 	}
@@ -287,7 +319,16 @@ func (s *Sim) sample() {
 		return
 	}
 	var util, mem float64
-	for id, j := range s.running {
+	// Accumulate in sorted ID order: float addition is not associative, so
+	// map-iteration order would make the low bits of the utilization
+	// metrics differ between same-seed runs.
+	ids := make([]int, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		j := s.running[id]
 		p := j.Config.Profile()
 		sp := s.speeds[id]
 		n := float64(j.GPUs)
@@ -318,7 +359,11 @@ func (s *Sim) StepOnce() {
 	s.admitArrivals()
 	s.sched.Tick(env)
 	s.lastSched = s.now
+	if len(s.pendAnn) > 0 {
+		clear(s.pendAnn)
+	}
 	s.recomputeSpeeds()
+	s.checkInvariants()
 }
 
 // Env is the scheduler's handle on the simulation.
@@ -379,6 +424,7 @@ func (e *Env) StartExclusive(j *job.Job) bool {
 // the §6 heterogeneity-aware placement extension.
 func (e *Env) StartExclusivePrefer(j *job.Job, pref cluster.Preference) bool {
 	if j.State == job.Running || j.State == job.Finished {
+		e.s.trace(dtrace.ActPlaceFail, j, "already-placed", 0)
 		return false
 	}
 	mem := 0.0
@@ -387,12 +433,27 @@ func (e *Env) StartExclusivePrefer(j *job.Job, pref cluster.Preference) bool {
 	}
 	gpus, err := e.s.main.AllocatePrefer(j.ID, j.VC, j.GPUs, mem, pref)
 	if err != nil {
+		e.s.trace(dtrace.ActPlaceFail, j, "no-capacity", 0)
 		return false
 	}
 	e.s.recordGenSpeed(j.ID, gpus)
 	e.s.startOn(j, e.s.running)
 	e.s.record(EvStart, j.ID, j.GPUs, j.VC)
+	e.s.trace(dtrace.ActPlace, j, placeReason(pref), 0)
 	return true
+}
+
+// placeReason labels an exclusive placement with its generation
+// preference.
+func placeReason(pref cluster.Preference) string {
+	switch pref {
+	case cluster.PreferFast:
+		return "exclusive-prefer-fast"
+	case cluster.PreferSlow:
+		return "exclusive-prefer-slow"
+	default:
+		return "exclusive"
+	}
 }
 
 // recordGenSpeed caches the slowest generation factor across the job's
@@ -416,9 +477,15 @@ func (s *Sim) recordGenSpeed(jobID int, gpus []cluster.GPUID) {
 // two-job cap and the memory guard.
 func (e *Env) StartShared(j, partner *job.Job) bool {
 	if j.State == job.Running || j.State == job.Finished {
+		e.s.trace(dtrace.ActPackReject, j, "already-placed", partner.ID)
 		return false
 	}
-	if partner.State != job.Running || j.GPUs != partner.GPUs {
+	if partner.State != job.Running {
+		e.s.trace(dtrace.ActPackReject, j, "partner-not-running", partner.ID)
+		return false
+	}
+	if j.GPUs != partner.GPUs {
+		e.s.trace(dtrace.ActPackReject, j, "demand-mismatch", partner.ID)
 		return false
 	}
 	mem := 0.0
@@ -427,12 +494,14 @@ func (e *Env) StartShared(j, partner *job.Job) bool {
 	}
 	gpus, err := e.s.main.AllocateShared(j.ID, partner.ID, mem)
 	if err != nil {
+		e.s.trace(dtrace.ActPackReject, j, "no-share-capacity", partner.ID)
 		return false
 	}
 	e.s.recordGenSpeed(j.ID, gpus)
 	e.s.startOn(j, e.s.running)
 	e.s.sharedStarts++
 	e.s.record(EvStartShared, j.ID, j.GPUs, j.VC)
+	e.s.trace(dtrace.ActPack, j, "packed", partner.ID)
 	return true
 }
 
@@ -462,6 +531,7 @@ func (e *Env) Preempt(j *job.Job, overheadSec float64) bool {
 	j.Preemptions++
 	j.ColdStart += overheadSec
 	e.s.record(EvPreempt, j.ID, j.GPUs, j.VC)
+	e.s.trace(dtrace.ActPreempt, j, "checkpointed", 0)
 	e.s.dirty = true
 	return true
 }
@@ -482,6 +552,7 @@ func (e *Env) StartProfiling(j *job.Job) bool {
 	e.s.speeds[j.ID] = 1
 	e.s.profileStart[j.ID] = e.s.now
 	e.s.record(EvProfileStart, j.ID, j.GPUs, j.VC)
+	e.s.trace(dtrace.ActProfileStart, j, "admitted", 0)
 	return true
 }
 
@@ -511,6 +582,7 @@ func (e *Env) StopProfiling(j *job.Job) {
 	j.Profile = j.Config.Profile()
 	j.RemainingWork = float64(j.Duration) // restart: profiling work is lost
 	e.s.record(EvProfileStop, j.ID, j.GPUs, j.VC)
+	e.s.trace(dtrace.ActProfileStop, j, "restart-from-zero", 0)
 	e.s.dirty = true
 }
 

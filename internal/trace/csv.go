@@ -70,6 +70,17 @@ func ReadCSV(r io.Reader) ([]*job.Job, error) {
 				return nil, fmt.Errorf("trace: row %d: %w", i+2, e)
 			}
 		}
+		// Range validation: a malformed row must fail loudly here, not
+		// surface later as a job the simulator can never place or retire.
+		if gpus <= 0 {
+			return nil, fmt.Errorf("trace: row %d: non-positive gpus %d", i+2, gpus)
+		}
+		if submit < 0 {
+			return nil, fmt.Errorf("trace: row %d: negative submit %d", i+2, submit)
+		}
+		if dur < 0 {
+			return nil, fmt.Errorf("trace: row %d: negative duration %d", i+2, dur)
+		}
 		cfg, ok := workload.ConfigByName(rec[7], batch, rec[9] == "1")
 		if !ok {
 			return nil, fmt.Errorf("trace: row %d: unknown config %s/%s", i+2, rec[7], rec[8])

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseCSV throws arbitrary bytes at ReadCSV. The parser must never
+// panic; when it accepts an input, every parsed job must satisfy the
+// invariants the simulator relies on (positive GPUs, non-negative times,
+// submit-sorted output) and the jobs must survive a WriteCSV → ReadCSV
+// round trip.
+func FuzzParseCSV(f *testing.F) {
+	// A valid two-job file, straight from the writer.
+	var valid bytes.Buffer
+	tr := NewGenerator(Venus()).Emit(2)
+	if err := tr.WriteCSV(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+
+	header := "id,name,user,vc,gpus,submit,duration,model,batch,amp\n"
+	seeds := []string{
+		"",                   // empty input
+		header,               // header only
+		"id,name\n1,j\n",     // wrong column count
+		"bogus,first,line\n", // wrong header
+		header + "1,j,u,vc,2,0,600,ResNet18,64,0\n",                                  // one good row
+		header + "x,j,u,vc,2,0,600,ResNet18,64,0\n",                                  // non-numeric id
+		header + "1,j,u,vc,-4,0,600,ResNet18,64,0\n",                                 // negative gpus
+		header + "1,j,u,vc,0,0,600,ResNet18,64,0\n",                                  // zero gpus
+		header + "1,j,u,vc,2,-60,600,ResNet18,64,0\n",                                // negative submit
+		header + "1,j,u,vc,2,0,-600,ResNet18,64,0\n",                                 // negative duration
+		header + "1,j,u,vc,2,0,600,NoSuchModel,64,0\n",                               // unknown model
+		header + "1,j,u,vc,2,0,600,ResNet18,7,0\n",                                   // invalid batch size
+		header + "1,j,u,vc,2,0,600,ResNet18,64,0,extra\n",                            // extra column
+		header + "1,j,u,vc,2,0,600,ResNet18,64\n",                                    // missing column
+		header + `1,"j` + "\n" + `k",u,vc,2,0,600,ResNet18,64,0` + "\n",              // quoted newline
+		header + "9999999999999999999999,j,u,vc,2,0,600,ResNet18,64,0\n",             // overflow
+		header + "1,j\xff\xfe,u,vc,2,0,600,ResNet18,64,0\n",                          // non-UTF8 name
+		header + "1," + strings.Repeat("A", 1<<16) + ",u,vc,2,0,600,ResNet18,64,0\n", // huge field
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jobs, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is the correct outcome
+		}
+		prev := int64(-1)
+		for i, j := range jobs {
+			if j == nil {
+				t.Fatalf("job %d is nil", i)
+			}
+			if j.GPUs <= 0 {
+				t.Fatalf("job %d: accepted non-positive gpus %d", i, j.GPUs)
+			}
+			if j.Submit < 0 || j.Duration < 0 {
+				t.Fatalf("job %d: accepted negative time (submit %d, duration %d)",
+					i, j.Submit, j.Duration)
+			}
+			if j.Submit < prev {
+				t.Fatalf("job %d: output not submit-sorted", i)
+			}
+			prev = j.Submit
+			if !j.Config.Valid() {
+				t.Fatalf("job %d: accepted invalid config %v", i, j.Config)
+			}
+		}
+		// Round trip: anything the parser accepts must re-serialize and
+		// re-parse to the same job count. Names with invalid UTF-8 are
+		// exempt — encoding/csv writes them back escaped differently.
+		for _, j := range jobs {
+			if !utf8.ValidString(j.Name) || !utf8.ValidString(j.User) || !utf8.ValidString(j.VC) {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		rt := &Trace{Jobs: jobs}
+		if err := rt.WriteCSV(&buf); err != nil {
+			t.Fatalf("round-trip write: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round-trip read: %v\ninput: %q", err, buf.String())
+		}
+		if len(again) != len(jobs) {
+			t.Fatalf("round trip changed job count: %d → %d", len(jobs), len(again))
+		}
+	})
+}
