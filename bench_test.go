@@ -162,10 +162,44 @@ func BenchmarkTable5Scale(b *testing.B) {
 	}
 }
 
+// benchTable4Workers runs the Venus Table 4 sweep with a fixed worker
+// bound, dropping the world cache each iteration so serial and parallel
+// iterations do identical (cold) work — the honest fan-out comparison.
+func benchTable4Workers(b *testing.B, workers int) {
+	b.Helper()
+	lab.SetParallelism(workers)
+	defer lab.SetParallelism(0)
+	for i := 0; i < b.N; i++ {
+		lab.ResetWorldCache()
+		if _, _, _, err := lab.Table4([]trace.GenSpec{trace.Venus()}, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Serial and BenchmarkTable4Parallel bracket the parallel
+// harness: same sweep, worker pool of 1 vs GOMAXPROCS.
+func BenchmarkTable4Serial(b *testing.B)   { benchTable4Workers(b, 1) }
+func BenchmarkTable4Parallel(b *testing.B) { benchTable4Workers(b, 0) }
+
+// BenchmarkTable4WarmCache measures the sweep once the world is memoized —
+// what every experiment after the first pays per (cluster, scale) pair.
+func BenchmarkTable4WarmCache(b *testing.B) {
+	if _, _, _, err := lab.Table4([]trace.GenSpec{trace.Venus()}, benchScale); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := lab.Table4([]trace.GenSpec{trace.Venus()}, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig10aLatency measures scheduling-decision latency at 2048 jobs
 // (the paper's headline scalability number).
 func BenchmarkFig10aLatency(b *testing.B) {
-	w, err := lab.BuildWorld(trace.Venus(), benchScale)
+	w, err := lab.GetWorld(trace.Venus(), benchScale)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -5,8 +5,13 @@
 // Usage:
 //
 //	lucidbench -exp tab4 -scale 0.2
-//	lucidbench -exp all -scale 0.1
+//	lucidbench -exp all -scale 0.1 -parallel 8
 //	lucidbench -list
+//
+// Independent simulation runs within each experiment fan out across a
+// bounded worker pool (-parallel, default GOMAXPROCS); -parallel 1 forces
+// serial execution. Worlds (traces + trained models) are memoized
+// process-wide, so experiments sharing a (cluster, scale) pair train once.
 package main
 
 import (
@@ -136,7 +141,7 @@ func runFig9(scale float64) (string, error) {
 }
 
 func runFig10a(scale float64) (string, error) {
-	w, err := lab.BuildWorld(trace.Venus(), scale)
+	w, err := lab.GetWorld(trace.Venus(), scale)
 	if err != nil {
 		return "", err
 	}
@@ -147,9 +152,11 @@ func runFig10a(scale float64) (string, error) {
 func main() {
 	expID := flag.String("exp", "all", "experiment id (see -list)")
 	scale := flag.Float64("scale", 0.2, "trace scale for end-to-end experiments")
+	parallel := flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 
+	lab.SetParallelism(*parallel)
 	exps := experiments()
 	if *list {
 		for _, e := range exps {
@@ -164,6 +171,7 @@ func main() {
 		want[strings.TrimSpace(id)] = true
 	}
 	ran := 0
+	suiteStart := time.Now()
 	for _, e := range exps {
 		if !want["all"] && !want[e.id] {
 			continue
@@ -178,6 +186,11 @@ func main() {
 		}
 		fmt.Println(rep)
 		fmt.Printf("(%.1fs)\n\n", time.Since(t0).Seconds())
+	}
+	if ran > 1 {
+		builds, hits := lab.WorldCacheStats()
+		fmt.Printf("suite wall-clock: %.1fs (parallelism %d; worlds built %d, cache hits %d)\n",
+			time.Since(suiteStart).Seconds(), lab.Parallelism(), builds, hits)
 	}
 	if ran == 0 {
 		known := make([]string, 0, len(exps))

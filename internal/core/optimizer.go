@@ -29,8 +29,11 @@ type TuneCandidate struct {
 }
 
 // TuneProfiler grid-searches profiler settings over a replay of the recent
-// trace. models are reused across candidates (only the profiler knobs
-// move). Returns candidates sorted best-first by average queuing delay.
+// trace (only the profiler knobs move between candidates). Each replay gets
+// a private clone of the models: Lucid's forecaster mutates model state
+// during a run, and a shared instance would let one candidate's replay bias
+// the next — and mutate a caller's (possibly cached, shared) models.
+// Returns candidates sorted best-first by average queuing delay.
 func TuneProfiler(recent *trace.Trace, models *Models, base Config,
 	tprofs []int64, nprofs []int, opts sim.Options) []TuneCandidate {
 
@@ -41,7 +44,7 @@ func TuneProfiler(recent *trace.Trace, models *Models, base Config,
 			cfg.TprofSec = tp
 			cfg.Nprof = np
 			cfg.UpdateIntervalSec = 0 // keep replays cheap and comparable
-			res := sim.New(recent, New(models, cfg), opts).Run()
+			res := sim.New(recent, New(models.Clone(), cfg), opts).Run()
 			out = append(out, TuneCandidate{
 				TprofSec:    tp,
 				Nprof:       np,

@@ -3,6 +3,7 @@ package feat
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/job"
 	"repro/internal/ml/affprop"
@@ -28,7 +29,13 @@ type DurationFeaturizer struct {
 	// MaxNameExemplars caps the affinity-propagation input size.
 	MaxNameExemplars int
 
-	exemplars  []string
+	exemplars []string
+	// baseBucket memoizes nearest-exemplar lookups for bases unseen at fit
+	// time. One featurizer is shared by estimator clones across concurrent
+	// scheduler runs (the fitted state is read-only; this memo is the one
+	// exception), so it is mutex-guarded. The memoized value is a pure
+	// function of the base, so concurrent fills stay deterministic.
+	bucketMu   sync.Mutex
 	baseBucket map[string]int
 	userMean   map[string]float64
 	tmplMean   map[string]float64
@@ -161,7 +168,10 @@ func (f *DurationFeaturizer) fit(history []*job.Job) {
 // bucketOf maps a template base to its name bucket, assigning unseen bases
 // to the nearest exemplar (cached).
 func (f *DurationFeaturizer) bucketOf(base string) int {
-	if b, ok := f.baseBucket[base]; ok {
+	f.bucketMu.Lock()
+	b, ok := f.baseBucket[base]
+	f.bucketMu.Unlock()
+	if ok {
 		return b
 	}
 	if len(f.exemplars) == 0 {
@@ -173,7 +183,9 @@ func (f *DurationFeaturizer) bucketOf(base string) int {
 			best, bi = s, i
 		}
 	}
+	f.bucketMu.Lock()
 	f.baseBucket[base] = bi
+	f.bucketMu.Unlock()
 	return bi
 }
 

@@ -1,6 +1,8 @@
 package lab
 
 import (
+	"sync"
+
 	"repro/internal/feat"
 	"repro/internal/job"
 	"repro/internal/ml/gbdt"
@@ -10,9 +12,17 @@ import (
 // GBDTEstimator is the black-box duration model behind QSSF (Helios pairs
 // it with LightGBM) and Horus. It uses the trace features only — no
 // profiled resource features, which is part of Lucid's edge (§4.8).
+//
+// One instance is shared by every scheduler run over a world (QSSF and
+// Horus, possibly concurrent under the parallel harness); the prediction
+// cache is therefore mutex-guarded. The cached value per job ID is a pure
+// function of submit-time features, so concurrent fills are idempotent and
+// results stay deterministic regardless of interleaving.
 type GBDTEstimator struct {
 	feat  *feat.DurationFeaturizer
 	model *gbdt.Model
+
+	mu    sync.Mutex
 	cache map[int]float64
 }
 
@@ -28,13 +38,18 @@ func NewGBDTEstimator(hist *trace.Trace) (*GBDTEstimator, error) {
 
 // EstimateSec implements sched.Estimator.
 func (e *GBDTEstimator) EstimateSec(j *job.Job) float64 {
+	e.mu.Lock()
 	if v, ok := e.cache[j.ID]; ok {
+		e.mu.Unlock()
 		return v
 	}
+	e.mu.Unlock()
 	v := e.model.Predict(e.feat.Features(j))
 	if v < 60 {
 		v = 60
 	}
+	e.mu.Lock()
 	e.cache[j.ID] = v
+	e.mu.Unlock()
 	return v
 }

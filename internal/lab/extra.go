@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -13,28 +14,40 @@ import (
 // the paper) because Indolent Packing prioritizes non-interfering jobs
 // regardless of the exact cut points.
 func BinderThresholdStudy(scale float64) (spreadPct float64, report string, err error) {
-	w, err := BuildWorld(trace.Venus(), scale)
+	w, err := GetWorld(trace.Venus(), scale)
 	if err != nil {
 		return 0, "", err
 	}
-	var tb [][]string
-	var lo, hi float64
-	for _, th := range []workload.Thresholds{
+	ths := []workload.Thresholds{
 		{Medium: 0.75, Tiny: 0.90},
 		{Medium: 0.80, Tiny: 0.93},
 		{Medium: 0.85, Tiny: 0.95}, // the default
 		{Medium: 0.85, Tiny: 0.97},
-	} {
+	}
+	type cell struct {
+		res *sim.Result
+		err error
+	}
+	cells := collectPar(len(ths), func(i int) cell {
 		cfg := core.DefaultConfig()
-		cfg.Thresholds = th
+		cfg.Thresholds = ths[i]
 		// The analyzer is threshold-dependent; retrain it for the variant.
-		analyzer, err := core.TrainPackingAnalyzer(th)
+		// Clone the shared world's models before swapping it in.
+		analyzer, err := core.TrainPackingAnalyzer(ths[i])
 		if err != nil {
-			return 0, "", err
+			return cell{nil, err}
 		}
-		models := *w.Models
+		models := w.Models.Clone()
 		models.Analyzer = analyzer
-		res := w.Run(NamedRun{"Lucid", core.New(&models, cfg), LucidOpts(w.Spec)})
+		return cell{w.Run(NamedRun{"Lucid", core.New(models, cfg), LucidOpts(w.Spec)}), nil}
+	})
+	var tb [][]string
+	var lo, hi float64
+	for i, th := range ths {
+		if cells[i].err != nil {
+			return 0, "", cells[i].err
+		}
+		res := cells[i].res
 		jct := res.AvgJCTSec
 		if lo == 0 || jct < lo {
 			lo = jct
@@ -62,7 +75,7 @@ func BinderThresholdStudy(scale float64) (spreadPct float64, report string, err 
 // tuned configuration against the heuristic default on the next month.
 func GuidedTuningStudy(scale float64) (string, error) {
 	spec := trace.Venus()
-	w, err := BuildWorld(spec, scale)
+	w, err := GetWorld(spec, scale)
 	if err != nil {
 		return "", err
 	}
@@ -76,11 +89,14 @@ func GuidedTuningStudy(scale float64) (string, error) {
 	best := cands[0]
 
 	// Evaluate default vs tuned on the evaluation month.
-	defRes := w.Run(NamedRun{"Lucid", core.New(w.Models, base), LucidOpts(w.Spec)})
 	tuned := base
 	tuned.TprofSec = best.TprofSec
 	tuned.Nprof = best.Nprof
-	tunedRes := w.Run(NamedRun{"Lucid", core.New(w.Models, tuned), LucidOpts(w.Spec)})
+	res := w.RunMany([]NamedRun{
+		{"default", w.NewLucid(base), LucidOpts(w.Spec)},
+		{"tuned", w.NewLucid(tuned), LucidOpts(w.Spec)},
+	})
+	defRes, tunedRes := res[0], res[1]
 
 	return fmt.Sprintf(`§4.6 — guided system tuning (System Tuner over last month's trace)
 candidates ranked on history:

@@ -13,22 +13,28 @@ import (
 // trade: aging trims the tail and lifts fairness for a small average-JCT
 // cost.
 func FairnessStudy(scale float64) (string, error) {
-	w, err := BuildWorld(trace.Venus(), scale)
+	w, err := GetWorld(trace.Venus(), scale)
 	if err != nil {
 		return "", err
 	}
-	var tb [][]string
-	for _, c := range []struct {
+	cases := []struct {
 		name  string
 		aging float64
 	}{
 		{"Lucid (no aging)", 0},
 		{"Lucid (aging 0.5)", 0.5},
 		{"Lucid (aging 2.0)", 2.0},
-	} {
+	}
+	runs := make([]NamedRun, len(cases))
+	for i, c := range cases {
 		cfg := core.DefaultConfig()
 		cfg.FairnessAgingSec = c.aging
-		res := w.Run(NamedRun{c.name, core.New(w.Models, cfg), LucidOpts(w.Spec)})
+		runs[i] = NamedRun{c.name, w.NewLucid(cfg), LucidOpts(w.Spec)}
+	}
+	results := w.RunMany(runs)
+	var tb [][]string
+	for i, c := range cases {
+		res := results[i]
 		_, worst := res.WorstUserSlowdown()
 		tb = append(tb, []string{c.name,
 			fmt.Sprintf("%.0f", res.AvgJCTSec),

@@ -13,25 +13,32 @@ import (
 // generation-aware placement. Awareness should put the long jobs on fast
 // silicon and cut average JCT.
 func HeterogeneityStudy(scale float64) (string, error) {
-	w, err := BuildWorld(trace.Venus(), scale)
+	w, err := GetWorld(trace.Venus(), scale)
 	if err != nil {
 		return "", err
 	}
-	// Make the evaluation cluster heterogeneous.
+	// Make the evaluation cluster heterogeneous. The shallow World copy is
+	// private to this study; the cached world's own Eval is left untouched.
 	hetero := *w.Eval
 	hetero.Cluster.FastNodesFrac = 0.3
 	hetero.Cluster.FastSpeed = 1.6
 	heteroWorld := *w
 	heteroWorld.Eval = &hetero
 
-	var tb [][]string
-	for _, c := range []struct {
+	cases := []struct {
 		name  string
 		aware bool
-	}{{"Lucid (generation-blind)", false}, {"Lucid (generation-aware)", true}} {
+	}{{"Lucid (generation-blind)", false}, {"Lucid (generation-aware)", true}}
+	runs := make([]NamedRun, len(cases))
+	for i, c := range cases {
 		cfg := core.DefaultConfig()
 		cfg.HeterogeneityAware = c.aware
-		res := heteroWorld.Run(NamedRun{c.name, core.New(w.Models, cfg), LucidOpts(w.Spec)})
+		runs[i] = NamedRun{c.name, heteroWorld.NewLucid(cfg), LucidOpts(w.Spec)}
+	}
+	results := heteroWorld.RunMany(runs)
+	var tb [][]string
+	for i, c := range cases {
+		res := results[i]
 		lj, _, sj, _ := res.ScaleStats()
 		tb = append(tb, []string{c.name,
 			fmt.Sprintf("%.0f", res.AvgJCTSec),

@@ -128,16 +128,31 @@ type NamedRun struct {
 	Opts  sim.Options
 }
 
+// NewLucid builds a Lucid scheduler over a private clone of the world's
+// models. Worlds may be cached (GetWorld) and shared across experiments
+// and goroutines, and Lucid's Update Engine and online forecaster mutate
+// model state in place — every run must therefore start from a clone, or
+// one run's updates leak into the next and results depend on execution
+// order.
+func (w *World) NewLucid(cfg core.Config) sim.Scheduler {
+	return core.New(w.Models.Clone(), cfg)
+}
+
 // Run executes one scheduler over the world's evaluation trace.
 func (w *World) Run(nr NamedRun) *sim.Result {
 	return sim.New(w.Eval, nr.Sched, nr.Opts).Run()
 }
 
-// RunAll executes the full scheduler set.
+// RunAll executes the full scheduler set, fanning the runs out across the
+// harness worker pool (see parallel.go). Each run is shared-nothing:
+// sim.New clones the evaluation jobs and Schedulers() builds fresh policy
+// instances, so the results are identical to a serial sweep.
 func (w *World) RunAll() map[string]*sim.Result {
-	out := map[string]*sim.Result{}
-	for _, nr := range w.Schedulers() {
-		out[nr.Name] = w.Run(nr)
+	runs := w.Schedulers()
+	results := w.RunMany(runs)
+	out := make(map[string]*sim.Result, len(runs))
+	for i, nr := range runs {
+		out[nr.Name] = results[i]
 	}
 	return out
 }

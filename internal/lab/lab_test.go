@@ -155,6 +155,15 @@ func TestTable4SmallScale(t *testing.T) {
 	if !strings.Contains(rep, "avg JCT") {
 		t.Fatal("Table4 report malformed")
 	}
+	// Repeat calls are served from the sweep memo (tab5/fig8/fig9 share
+	// one simulation pass): the same Result pointers come back.
+	_, again, _, err := Table4([]trace.GenSpec{spec}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again["Venus"]["Lucid"] != results["Venus"]["Lucid"] {
+		t.Fatal("second Table4 call re-simulated instead of hitting the sweep memo")
+	}
 }
 
 func TestFig10a(t *testing.T) {

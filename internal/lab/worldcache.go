@@ -1,0 +1,88 @@
+package lab
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// The world cache memoizes BuildWorld process-wide. Building a world —
+// emitting two trace months and training the GA²M/GBDT models — dominates
+// the wall-clock of every end-to-end experiment, and the suite rebuilds
+// identical worlds constantly (tab4, tab5, fig8 and fig9 all want the same
+// three; eight studies all want Venus at the same scale). A cached World
+// is shared across experiments and across goroutines, which is safe
+// because a World is read-only after construction: runs clone the trace's
+// jobs (sim.New) and the models (World.NewLucid / Schedulers), and the
+// GBDT estimator's internal cache is mutex-guarded.
+//
+// GenSpec is a flat comparable struct, so (spec, scale) keys directly.
+type worldKey struct {
+	spec  trace.GenSpec
+	scale float64
+}
+
+type worldEntry struct {
+	once sync.Once
+	w    *World
+	err  error
+}
+
+var (
+	worldCache  sync.Map // worldKey → *worldEntry
+	worldBuilds atomic.Int64
+	worldHits   atomic.Int64
+)
+
+// GetWorld returns the memoized world for (spec, scale), building it on
+// first use. Concurrent callers for the same key block on one build;
+// callers for distinct keys build in parallel. The returned World must be
+// treated as immutable — run schedulers against clones only.
+func GetWorld(spec trace.GenSpec, scale float64) (*World, error) {
+	k := worldKey{spec: spec, scale: scale}
+	e, loaded := worldCache.LoadOrStore(k, &worldEntry{})
+	ent := e.(*worldEntry)
+	if loaded {
+		worldHits.Add(1)
+	}
+	ent.once.Do(func() {
+		worldBuilds.Add(1)
+		ent.w, ent.err = BuildWorld(spec, scale)
+	})
+	return ent.w, ent.err
+}
+
+// GetWorlds builds (or fetches) one world per spec in parallel, preserving
+// input order. The first error (by spec order) wins.
+func GetWorlds(specs []trace.GenSpec, scale float64) ([]*World, error) {
+	worlds := make([]*World, len(specs))
+	errs := make([]error, len(specs))
+	parallelEach(len(specs), func(i int) {
+		worlds[i], errs[i] = GetWorld(specs[i], scale)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return worlds, nil
+}
+
+// WorldCacheStats reports lifetime cache traffic: worlds built from
+// scratch vs. requests served from the cache.
+func WorldCacheStats() (builds, hits int64) {
+	return worldBuilds.Load(), worldHits.Load()
+}
+
+// ResetWorldCache drops every cached world and memoized Table 4 sweep
+// (benchmarks use it to measure cold builds; long-lived processes can use
+// it to bound memory).
+func ResetWorldCache() {
+	worldCache.Range(func(k, _ any) bool {
+		worldCache.Delete(k)
+		return true
+	})
+	sweepCache.Range(func(k, _ any) bool {
+		sweepCache.Delete(k)
+		return true
+	})
+}

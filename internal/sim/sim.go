@@ -96,6 +96,7 @@ type Sim struct {
 
 	now        int64
 	arriveIdx  int
+	pendLow    int              // jobs[:pendLow] are all Finished (Pending scan skip)
 	running    map[int]*job.Job // on the main cluster
 	profiling  map[int]*job.Job // on the profiling cluster
 	speeds     map[int]float64
@@ -220,10 +221,16 @@ func (s *Sim) advanceSet(set map[int]*job.Job, cl *cluster.Cluster, dt float64) 
 	for id, j := range set {
 		eff := dt
 		if j.ColdStart > 0 {
-			// Checkpoint-restore overhead: wall clock passes, no progress.
+			// Checkpoint-restore overhead: wall clock passes, no progress —
+			// but the GPUs stay occupied, so attained service accrues just
+			// like run time does. Tiresias's LAS priority must see the same
+			// GPU-time the cluster actually charged, or the jobs it preempts
+			// (the only ones that pay cold starts) get undercounted and jump
+			// the queue on resume.
 			if j.ColdStart >= eff {
 				j.ColdStart -= eff
 				j.RunTime += dt
+				j.AttainedGPUT += dt * float64(j.GPUs)
 				continue
 			}
 			eff -= j.ColdStart
@@ -379,8 +386,15 @@ func (e *Env) Now() int64 { return e.s.now }
 // (profiled, awaiting the main cluster) jobs; schedulers distinguish by
 // State.
 func (e *Env) Pending() []*job.Job {
+	s := e.s
+	// Compact the scan window: Finished is terminal, so a finished prefix
+	// never needs rescanning. Without this, every scheduler call late in a
+	// long trace is O(total jobs) even when the live window is tiny.
+	for s.pendLow < s.arriveIdx && s.jobs[s.pendLow].State == job.Finished {
+		s.pendLow++
+	}
 	var out []*job.Job
-	for _, j := range e.s.jobs[:e.s.arriveIdx] {
+	for _, j := range s.jobs[s.pendLow:s.arriveIdx] {
 		if j.State == job.Pending || j.State == job.Queued {
 			out = append(out, j)
 		}
@@ -581,6 +595,10 @@ func (e *Env) StopProfiling(j *job.Job) {
 	j.Profiled = true
 	j.Profile = j.Config.Profile()
 	j.RemainingWork = float64(j.Duration) // restart: profiling work is lost
+	// Restart-from-zero also voids any checkpoint debt: a job preempted
+	// before profiling would otherwise pay a phantom checkpoint-restore on
+	// its next start even though no checkpoint exists anymore.
+	j.ColdStart = 0
 	e.s.record(EvProfileStop, j.ID, j.GPUs, j.VC)
 	e.s.trace(dtrace.ActProfileStop, j, "restart-from-zero", 0)
 	e.s.dirty = true

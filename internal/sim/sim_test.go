@@ -330,6 +330,115 @@ func TestRunIsRepeatable(t *testing.T) {
 	}
 }
 
+func TestColdStartAccruesAttainedService(t *testing.T) {
+	// Regression: while a resumed job pays its checkpoint-restore cold
+	// start, wall clock passes on occupied GPUs — RunTime and AttainedGPUT
+	// must accrue together. The bug charged RunTime but not AttainedGPUT,
+	// so preempted jobs looked younger to Tiresias's LAS than the GPU-time
+	// the cluster actually spent on them.
+	tr := mkTrace(mkJob(1, 8, 0, 1000), mkJob(2, 8, 300, 300))
+	res := New(tr, &preemptSched{}, Options{Tick: 10}).Run()
+	j1 := res.Jobs[0]
+	if j1.Preemptions != 1 || j1.Finish < 0 {
+		t.Fatalf("scenario broken: preemptions=%d finish=%d", j1.Preemptions, j1.Finish)
+	}
+	for _, j := range res.Jobs {
+		want := float64(j.RunTime) * float64(j.GPUs)
+		if diff := j.AttainedGPUT - want; diff < -1e-6 || diff > 1e-6 {
+			t.Fatalf("job %d: AttainedGPUT = %v, want RunTime*GPUs = %v (cold-start ticks dropped)",
+				j.ID, j.AttainedGPUT, want)
+		}
+	}
+}
+
+// preemptProfSched preempts a running job, then routes it through the
+// profiler before letting it back onto the main cluster: the preempt →
+// profile → run lifecycle.
+type preemptProfSched struct {
+	ticks     int
+	preempted bool
+}
+
+func (p *preemptProfSched) Name() string { return "test-preempt-profile" }
+func (p *preemptProfSched) Tick(env *Env) {
+	p.ticks++
+	if !p.preempted {
+		if p.ticks <= 10 {
+			for _, j := range env.Pending() {
+				env.StartExclusive(j)
+			}
+			return
+		}
+		for _, r := range env.Running() {
+			// Overhead larger than the profiling window, so part of the
+			// checkpoint debt survives the profiling run — exactly the
+			// stale state StopProfiling must clear.
+			env.Preempt(r, 300)
+			p.preempted = true
+		}
+		return
+	}
+	for _, j := range env.Profiling() {
+		if env.ProfilingElapsed(j) >= 100 {
+			env.StopProfiling(j)
+		}
+	}
+	for _, j := range env.Pending() {
+		switch j.State {
+		case job.Pending:
+			env.StartProfiling(j)
+		case job.Queued:
+			env.StartExclusive(j)
+		}
+	}
+}
+
+func TestStopProfilingClearsCheckpointDebt(t *testing.T) {
+	// Regression: a job preempted with checkpoint overhead and then sent
+	// through the profiler restarts from zero — no checkpoint exists any
+	// more, so StopProfiling must void the pending ColdStart. The bug kept
+	// it, charging a phantom checkpoint-restore on the post-profiling start.
+	tr := mkTrace(mkJob(1, 1, 0, 500))
+	res := New(tr, &preemptProfSched{}, Options{Tick: 10, SchedulerEvery: 10, ProfilerNodes: 1}).Run()
+	j := res.Jobs[0]
+	if res.Unfinished != 0 || j.Preemptions != 1 || !j.Profiled {
+		t.Fatalf("scenario broken: unfinished=%d preemptions=%d profiled=%v",
+			res.Unfinished, j.Preemptions, j.Profiled)
+	}
+	if j.ColdStart != 0 {
+		t.Fatalf("ColdStart = %v after profiling restart, want 0", j.ColdStart)
+	}
+	// ~100 s initial run + ~100 s profiling + 500 s restart-from-zero. The
+	// stale 200 s of checkpoint debt would push this toward 900.
+	if jct := j.JCT(); jct < 680 || jct > 740 {
+		t.Fatalf("JCT = %d, want ≈700 (no phantom checkpoint-restore)", jct)
+	}
+}
+
+func TestPendingSkipsFinishedPrefix(t *testing.T) {
+	// Pending must keep returning every waiting job while the finished-
+	// prefix optimization advances past terminal jobs. A burst of short
+	// jobs finishes first; the late arrival must still be scheduled, and a
+	// preempted job (index past the prefix) must reappear.
+	jobs := []*job.Job{}
+	for i := 1; i <= 6; i++ {
+		jobs = append(jobs, mkJob(i, 1, 0, 50))
+	}
+	jobs = append(jobs, mkJob(7, 8, 2000, 100))
+	tr := mkTrace(jobs...)
+	s := New(tr, fifoLike{}, Options{Tick: 10})
+	res := s.Run()
+	if res.Unfinished != 0 {
+		t.Fatalf("unfinished: %d", res.Unfinished)
+	}
+	if s.pendLow == 0 {
+		t.Fatal("finished prefix never advanced")
+	}
+	if late := res.Jobs[6]; late.Finish < 0 || late.QueueDelay() > 30 {
+		t.Fatalf("late job mishandled: finish=%d queue=%d", late.Finish, late.QueueDelay())
+	}
+}
+
 func TestTraceReusableAcrossRuns(t *testing.T) {
 	// New() clones jobs, so running twice from one trace must not corrupt
 	// the second run.

@@ -1,0 +1,43 @@
+package workload
+
+import "sync"
+
+// The pair-speed memo table answers PairSpeed for every ordered pair of
+// catalog configurations. The simulator's recomputeSpeeds re-derives the
+// speed of every packed job on every tick, so over a month-long trace the
+// same handful of pairs is recomputed millions of times; the table turns
+// each of those into one map lookup.
+//
+// The table is built once, lazily, from computePairSpeed itself — cached
+// answers are bit-identical to direct computation — and is immutable after
+// construction, so concurrent simulations (the parallel experiment
+// harness) read it without locks.
+var pairSpeedTab struct {
+	once sync.Once
+	m    map[pairSpeedKey][2]float64
+}
+
+// pairSpeedKey identifies an ordered config pair. configKey is injective
+// over catalog configs (model id, batch size and AMP bit occupy disjoint
+// bit ranges), so no two pairs collide.
+type pairSpeedKey struct{ a, b uint64 }
+
+func buildPairSpeedTab() {
+	cfgs := AllConfigs()
+	m := make(map[pairSpeedKey][2]float64, len(cfgs)*len(cfgs))
+	for _, a := range cfgs {
+		for _, b := range cfgs {
+			sa, sb := computePairSpeed(a, b)
+			m[pairSpeedKey{configKey(a), configKey(b)}] = [2]float64{sa, sb}
+		}
+	}
+	pairSpeedTab.m = m
+}
+
+// pairSpeedCached looks the pair up in the memo table, reporting whether
+// both configs are catalog entries (only those are tabulated).
+func pairSpeedCached(a, b Config) (sa, sb float64, ok bool) {
+	pairSpeedTab.once.Do(buildPairSpeedTab)
+	v, ok := pairSpeedTab.m[pairSpeedKey{configKey(a), configKey(b)}]
+	return v[0], v[1], ok
+}
