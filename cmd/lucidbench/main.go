@@ -97,6 +97,7 @@ func experiments() []experiment {
 		{"monotonic", "monotonic constraint study (§4.6)", lab.MonotonicConstraintStudy},
 		{"fairness", "fairness extension: priority aging (§6)", lab.FairnessStudy},
 		{"hetero", "heterogeneous GPU generations extension (§6)", lab.HeterogeneityStudy},
+		{"figr", "goodput & JCT under failure-rate sweep (chaos extension)", lab.FigR},
 	}
 }
 

@@ -8,25 +8,83 @@
 //	go run ./cmd/lucidd -addr :8080
 //	curl -XPOST localhost:8080/jobs -d '{"name":"train-v1","user":"alice","vc":"vc0","gpus":2}'
 //	curl -XPOST localhost:8080/metrics -d '{"job":1,"gpu_util":55,"gpu_mem_mb":2600,"gpu_mem_util":38}'
+//	curl -XPOST localhost:8080/agents -d '{"name":"agent-0","node":0}'
 //	curl localhost:8080/schedule
+//
+// The process is hardened against failing clients: request bodies are
+// capped, slow-loris connections hit read/write deadlines, agents that stop
+// heartbeating are evicted, and SIGINT/SIGTERM drain in-flight requests
+// before the listener closes. -chaos additionally mounts POST /chaos for
+// fault-injection during integration tests.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/lucidd"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	chaos := flag.Bool("chaos", false, "mount the POST /chaos fault-injection endpoint (testing only)")
+	stale := flag.Duration("agent-stale-after", 90*time.Second, "evict agents silent for longer than this")
+	maxBody := flag.Int64("max-body-bytes", 1<<20, "reject request bodies larger than this")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	flag.Parse()
 
-	srv, err := lucidd.NewServer()
+	srv, err := lucidd.NewServerWith(lucidd.Options{
+		MaxBodyBytes:    *maxBody,
+		AgentStaleAfter: *stale,
+		EnableChaos:     *chaos,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("lucidd listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("lucidd draining (up to %s)", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Drain the application first (new requests 503, in-flight finish),
+		// then close the listener and idle connections.
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+
+	if *chaos {
+		log.Printf("lucidd listening on %s (CHAOS ENDPOINT ENABLED)", *addr)
+	} else {
+		log.Printf("lucidd listening on %s", *addr)
+	}
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	log.Print("lucidd stopped")
 }

@@ -6,7 +6,14 @@
 //	lucidsim -trace venus -sched lucid -scale 0.2
 //	lucidsim -trace philly -sched all
 //	lucidsim -trace venus -sched lucid -decision-trace out.jsonl -invariants
+//	lucidsim -trace venus -sched fifo -chaos "nodefail=0.5,jobcrash=1,retries=3"
 //	lucidsim -summarize out.jsonl
+//
+// -chaos arms deterministic fault injection (node crashes, GPU faults, job
+// crashes, stragglers) from a comma-separated key=value spec; "default"
+// selects Hu et al.-calibrated rates and "off" disables every fault. Each
+// scheduler run gets its own injector, so -sched all replays the identical
+// fault schedule against every scheduler.
 //
 // With -decision-trace, every scheduling decision is streamed as JSONL to
 // the given path (one file per scheduler when -sched all; the scheduler
@@ -24,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/dtrace"
 	"repro/internal/lab"
 	"repro/internal/sim"
@@ -38,7 +46,18 @@ func main() {
 	decisionTrace := flag.String("decision-trace", "", "write a JSONL decision trace to this path and print its summary")
 	invariants := flag.Bool("invariants", false, "check engine invariants every tick and report violations")
 	summarize := flag.String("summarize", "", "summarize an existing JSONL decision trace and exit")
+	chaosSpec := flag.String("chaos", "", `fault-injection spec, e.g. "nodefail=0.5,jobcrash=1" ("default" | "off" | key=value,...)`)
 	flag.Parse()
+
+	var faultSpec chaos.Spec
+	if *chaosSpec != "" {
+		var err error
+		faultSpec, err = chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -chaos spec: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *summarize != "" {
 		if err := summarizeFile(*summarize); err != nil {
@@ -70,6 +89,13 @@ func main() {
 	}
 	fmt.Printf("evaluation month: %d jobs on %d GPUs across %d VCs\n\n",
 		len(w.Eval.Jobs), w.Eval.Cluster.TotalGPUs(), len(w.Eval.Cluster.VCs))
+	if *chaosSpec != "" {
+		if faultSpec.Enabled() {
+			fmt.Printf("chaos armed: %s\n\n", faultSpec.String())
+		} else {
+			fmt.Print("chaos spec disables every fault — running clean\n\n")
+		}
+	}
 
 	want := strings.ToLower(*schedName)
 	ran := false
@@ -80,6 +106,11 @@ func main() {
 		ran = true
 		if *invariants {
 			nr.Opts.Invariants = sim.NewInvariantChecker(false)
+		}
+		if *chaosSpec != "" && faultSpec.Enabled() {
+			// One injector per run: injectors carry per-run repair state, and
+			// a fresh one per scheduler replays the identical fault schedule.
+			nr.Opts.Chaos = chaos.NewInjector(faultSpec)
 		}
 		var rec *dtrace.Recorder
 		var closeTrace func() error

@@ -1,0 +1,38 @@
+package chaos
+
+import "testing"
+
+// FuzzParseChaosSpec hammers the -chaos spec parser with arbitrary input.
+// Properties: ParseSpec never panics; any spec it accepts validates clean
+// and survives a String→ParseSpec round trip unchanged (the canonical-form
+// contract lucidsim relies on when echoing the active spec).
+func FuzzParseChaosSpec(f *testing.F) {
+	f.Add("")
+	f.Add("default")
+	f.Add("off")
+	f.Add("seed=7,nodefail=0.1,jobcrash=0.5,retries=3")
+	f.Add("nodefail=1e3,repair=60,gpufail=0.01,backoff=30,maxbackoff=600")
+	f.Add("stragglers=0.5,slowdown=0.7,restore=62")
+	f.Add("seed=18446744073709551615")
+	f.Add("nodefail=-1")
+	f.Add("slowdown=0")
+	f.Add(",,,")
+	f.Add("seed==3")
+	f.Add("nodefail=0.1,nodefail=0.2")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSpec(text)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid spec: %v", text, verr)
+		}
+		again, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", s.String(), err)
+		}
+		if again != s {
+			t.Fatalf("round trip diverged: %+v != %+v (via %q)", again, s, s.String())
+		}
+	})
+}

@@ -59,10 +59,17 @@ type node struct {
 	id    int
 	vc    string
 	speed float64 // GPU-generation speed factor (1.0 = baseline)
+	down  bool    // crashed: capacity revoked until repaired
 	gpus  []gpu
 }
 
+// freeCount returns 0 for a down node, which is what keeps every placement
+// path (best-fit, whole-node scan, FreeGPUs) away from revoked capacity
+// without any of them knowing about failures.
 func (n *node) freeCount() int {
+	if n.down {
+		return 0
+	}
 	c := 0
 	for i := range n.gpus {
 		if len(n.gpus[i].jobs) == 0 {
@@ -425,6 +432,10 @@ func (c *Cluster) Audit() []string {
 	for _, nd := range c.nodes {
 		for i := range nd.gpus {
 			st := &nd.gpus[i]
+			if nd.down && len(st.jobs) > 0 {
+				out = append(out, fmt.Sprintf(
+					"gpu %d/%d hosts %d jobs on a down node", nd.id, i, len(st.jobs)))
+			}
 			if len(st.jobs) > c.maxShare {
 				out = append(out, fmt.Sprintf(
 					"gpu %d/%d hosts %d jobs, cap %d", nd.id, i, len(st.jobs), c.maxShare))
@@ -477,6 +488,80 @@ func (c *Cluster) Audit() []string {
 
 // VCOf returns the VC that owns the node hosting g.
 func (c *Cluster) VCOf(g GPUID) string { return c.nodes[g.Node].vc }
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// NodeDown reports whether the node's capacity is currently revoked.
+func (c *Cluster) NodeDown(nodeID int) bool {
+	if nodeID < 0 || nodeID >= len(c.nodes) {
+		return false
+	}
+	return c.nodes[nodeID].down
+}
+
+// DownNodes lists revoked nodes in ascending id order.
+func (c *Cluster) DownNodes() []int {
+	var out []int
+	for _, nd := range c.nodes {
+		if nd.down {
+			out = append(out, nd.id)
+		}
+	}
+	return out
+}
+
+// JobsOn returns the sorted, deduplicated set of jobs resident on the node.
+func (c *Cluster) JobsOn(nodeID int) []int {
+	if nodeID < 0 || nodeID >= len(c.nodes) {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for i := range c.nodes[nodeID].gpus {
+		for _, id := range c.nodes[nodeID].gpus[i].jobs {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// JobsOnGPU returns the sorted set of jobs resident on one GPU.
+func (c *Cluster) JobsOnGPU(g GPUID) []int {
+	if g.Node < 0 || g.Node >= len(c.nodes) || g.Index < 0 || g.Index >= c.spec.GPUsPerNode {
+		return nil
+	}
+	out := append([]int(nil), c.nodes[g.Node].gpus[g.Index].jobs...)
+	sort.Ints(out)
+	return out
+}
+
+// FailNode revokes the node's capacity and returns the sorted set of jobs
+// that were resident there (the caller — the chaos engine — is responsible
+// for killing them and freeing their allocations, which may span other
+// nodes for distributed jobs). Idempotent: failing a down node returns its
+// current residents without other effect.
+func (c *Cluster) FailNode(nodeID int) []int {
+	if nodeID < 0 || nodeID >= len(c.nodes) {
+		return nil
+	}
+	victims := c.JobsOn(nodeID)
+	c.nodes[nodeID].down = true
+	return victims
+}
+
+// RepairNode returns a failed node's capacity to service. No-op on healthy
+// or out-of-range nodes.
+func (c *Cluster) RepairNode(nodeID int) {
+	if nodeID < 0 || nodeID >= len(c.nodes) {
+		return
+	}
+	c.nodes[nodeID].down = false
+}
 
 // UniformSpec is a convenience constructor: nodes evenly split across
 // numVCs VCs named vc0..vc<n-1> (numVCs = 1 gives a single "all" VC,

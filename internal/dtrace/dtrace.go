@@ -53,6 +53,14 @@ const (
 	ActOrder        Action = "order"         // queue-ordering decision (estimator)
 	ActSteer        Action = "steer"         // heterogeneity-aware generation steering
 	ActRetire       Action = "retire"        // job finished and left the cluster
+
+	// Fault-injection actions (internal/chaos): the failure half of the
+	// trace, so recovery decisions are as explainable as placement ones.
+	ActNodeFail   Action = "node-fail"         // node crashed (capacity revoked) or agent lost
+	ActNodeRepair Action = "node-repair"       // node returned from its repair window
+	ActGPUFail    Action = "gpu-fail"          // transient GPU failure (resident jobs killed)
+	ActRequeue    Action = "requeue"           // killed job re-entered the queue
+	ActExhaust    Action = "retries-exhausted" // killed job hit its retry limit (terminal)
 )
 
 // Alternative is one unchosen option of a decision — a counterfactual the
@@ -86,6 +94,10 @@ type Event struct {
 	GPUs int    `json:"gpus,omitempty"`
 	// Partner is the co-located job for pack decisions.
 	Partner int `json:"partner,omitempty"`
+	// Node is the 1-based node id for node-level fault events (node-fail,
+	// node-repair, gpu-fail); 0 means "not a node event" and is omitted, so
+	// fault-free traces serialize exactly as before.
+	Node int `json:"node,omitempty"`
 	// Score is the chosen option's value under the deciding metric
 	// (combined utilization for packs, priority for ordering).
 	Score float64 `json:"score,omitempty"`

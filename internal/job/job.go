@@ -34,7 +34,14 @@ const (
 	Running
 	// Finished: completed.
 	Finished
+	// Failed: killed by fault injection and out of retries — terminal, never
+	// rescheduled. (Appended after Finished so existing state values are
+	// unchanged.)
+	Failed
 )
+
+// Terminal reports whether the job has left the system for good.
+func (s State) Terminal() bool { return s == Finished || s == Failed }
 
 // String names the state.
 func (s State) String() string {
@@ -49,6 +56,8 @@ func (s State) String() string {
 		return "Running"
 	case Finished:
 		return "Finished"
+	case Failed:
+		return "Failed"
 	default:
 		return "Unknown"
 	}
@@ -85,6 +94,11 @@ type Job struct {
 	Preemptions   int     // times the job was preempted (Tiresias)
 	ColdStart     float64 // seconds of no-progress overhead pending at next start
 	AttainedGPUT  float64 // attained GPU-time service (for LAS schedulers)
+
+	// Fault-injection accounting (internal/chaos).
+	Restarts         int     // times the job was killed by a fault and requeued
+	NextEligible     int64   // requeue backoff: not schedulable before this time
+	CheckpointedWork float64 // exclusive-speed seconds durably checkpointed (0 = none)
 }
 
 // New returns a job initialized with runtime sentinels.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/dtrace"
 	"repro/internal/sched"
@@ -83,6 +84,20 @@ func goldenSchedulers(models *core.Models) []struct {
 		// Engine's refits and the forecaster's observations leak across runs.
 		{"Lucid", func() (sim.Scheduler, sim.Options) {
 			return core.New(models.Clone(), core.DefaultConfig()), LucidOpts(spec)
+		}},
+		// Chaos scenario: FIFO under a heavy deterministic fault schedule.
+		// Pins the whole fault→kill→requeue→recover pipeline to a golden
+		// digest; a fresh injector per mk() call keeps repeat runs identical.
+		{"FIFO-chaos", func() (sim.Scheduler, sim.Options) {
+			opts := SimOpts()
+			cs := chaos.DefaultSpec()
+			cs.NodeFailPerDay = 4
+			cs.GPUFailPerDay = 0.5
+			cs.JobCrashPerDay = 6
+			cs.MaxRetries = 3
+			cs.BackoffSec = 120
+			opts.Chaos = chaos.NewInjector(cs)
+			return sched.NewFIFO(), opts
 		}},
 	}
 }

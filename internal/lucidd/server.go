@@ -7,11 +7,15 @@
 package lucidd
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dtrace"
@@ -32,6 +36,17 @@ type jobState struct {
 	Profile profile `json:"profile"`
 	Score   string  `json:"score"`
 	EstSec  float64 `json:"estimate_sec"`
+	// Restarts counts fault-injected kills (/chaos fail-job). A killed job
+	// loses its profile — the next samples rebuild it from scratch, exactly
+	// like a requeued job re-entering the simulator's profiler.
+	Restarts int `json:"restarts"`
+}
+
+// agentState is one registered node agent, kept alive by heartbeats.
+type agentState struct {
+	Name     string    `json:"name"`
+	Node     int       `json:"node"` // 0-based node index the agent reports for
+	LastSeen time.Time `json:"last_seen"`
 }
 
 // profile mirrors the three non-intrusive metrics.
@@ -48,11 +63,42 @@ const minSamples = 3
 // serves; summary counters still cover the server's whole lifetime.
 const traceKeep = 4096
 
+// Options hardens the server against hostile or failing clients. The zero
+// value selects production defaults.
+type Options struct {
+	// MaxBodyBytes caps every request body; larger payloads get 413.
+	// Defaults to 1 MiB.
+	MaxBodyBytes int64
+	// AgentStaleAfter is the heartbeat-staleness window: agents silent for
+	// longer are evicted (their node is presumed failed). Defaults to 90s.
+	AgentStaleAfter time.Duration
+	// EnableChaos mounts the POST /chaos fault-injection endpoint used by
+	// integration tests. Off by default — never expose it in production.
+	EnableChaos bool
+	// Clock substitutes time.Now so staleness tests are deterministic.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.AgentStaleAfter == 0 {
+		o.AgentStaleAfter = 90 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
 // Server is the HTTP control plane.
 type Server struct {
+	opts     Options
 	mu       sync.Mutex
 	nextID   int
 	jobs     map[int]*jobState
+	agents   map[string]*agentState
 	analyzer *core.PackingAnalyzer
 	est      *core.WorkloadEstimator
 	mux      *http.ServeMux
@@ -61,42 +107,129 @@ type Server struct {
 	// decision are recorded with their reasoning. The recorder is
 	// internally synchronized; it is used outside s.mu.
 	rec *dtrace.Recorder
+
+	// Graceful-shutdown state: once draining flips, new requests are refused
+	// with 503 while in-flight ones (tracked by inflight) run to completion.
+	draining atomic.Bool
+	inflight atomic.Int64
+	// delayMS is a chaos knob: artificial per-request latency, letting tests
+	// hold requests in flight deterministically while Shutdown drains.
+	delayMS atomic.Int64
 }
 
-// NewServer trains the interpretable models (on a synthetic history month,
-// standing in for the operator's real logs) and wires the routes.
-func NewServer() (*Server, error) {
-	analyzer, err := core.TrainPackingAnalyzer(workload.DefaultThresholds)
-	if err != nil {
-		return nil, err
-	}
-	spec := trace.Venus()
-	spec.NumJobs = 3000
-	hist := trace.NewGenerator(spec).Emit(0)
-	est, err := core.TrainWorkloadEstimator(hist.Jobs)
-	if err != nil {
+// Model training is deterministic and expensive, so every server shares one
+// pass: the packing analyzer is immutable at inference and shared outright;
+// the estimator caches per-job state, so each server gets its own Clone.
+var training struct {
+	sync.Once
+	analyzer *core.PackingAnalyzer
+	est      *core.WorkloadEstimator
+	err      error
+}
+
+func trainShared() error {
+	training.Do(func() {
+		training.analyzer, training.err = core.TrainPackingAnalyzer(workload.DefaultThresholds)
+		if training.err != nil {
+			return
+		}
+		spec := trace.Venus()
+		spec.NumJobs = 3000
+		hist := trace.NewGenerator(spec).Emit(0)
+		training.est, training.err = core.TrainWorkloadEstimator(hist.Jobs)
+	})
+	return training.err
+}
+
+// NewServer builds a server with default hardening options.
+func NewServer() (*Server, error) { return NewServerWith(Options{}) }
+
+// NewServerWith trains the interpretable models (once per process, on a
+// synthetic history month standing in for the operator's real logs) and
+// wires the routes.
+func NewServerWith(opts Options) (*Server, error) {
+	if err := trainShared(); err != nil {
 		return nil, err
 	}
 	rec := dtrace.New()
 	rec.SetKeep(traceKeep)
 	s := &Server{
+		opts:     opts.withDefaults(),
 		nextID:   1,
 		jobs:     map[int]*jobState{},
-		analyzer: analyzer,
-		est:      est,
+		agents:   map[string]*agentState{},
+		analyzer: training.analyzer,
+		est:      training.est.Clone(),
 		mux:      http.NewServeMux(),
 		rec:      rec,
 	}
 	s.mux.HandleFunc("/jobs", s.handleJobs)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/agents", s.handleAgents)
 	s.mux.HandleFunc("/models/packing", s.handlePackingModel)
 	s.mux.HandleFunc("/trace", s.handleTrace)
+	if s.opts.EnableChaos {
+		s.mux.HandleFunc("/chaos", s.handleChaos)
+	}
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. It is the hardening choke point: every
+// request is counted for drain tracking, refused while draining, optionally
+// delayed (chaos), and body-capped before reaching a handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	// Increment-then-check: a request that sneaks past a concurrent
+	// Shutdown's Store either sees draining here and bounces, or was already
+	// counted and Shutdown waits for it. Either way nothing is dropped
+	// mid-handler.
+	if s.draining.Load() {
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	if d := s.delayMS.Load(); d > 0 {
+		time.Sleep(time.Duration(d) * time.Millisecond)
+	}
+	if s.opts.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: new requests get 503 immediately, and the call
+// blocks until every in-flight request has completed or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// decode parses a JSON request body, translating the body-cap error into 413
+// and anything else into 400. Returns false after writing the error.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+		return false
+	}
+	return true
+}
 
 // handleJobs registers a job (POST) or lists jobs (GET).
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -109,8 +242,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			GPUs int    `json:"gpus"`
 			AMP  bool   `json:"amp"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if !s.decode(w, r, &req) {
 			return
 		}
 		if req.Name == "" || req.GPUs <= 0 {
@@ -150,8 +282,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		GPUMemMB   float64 `json:"gpu_mem_mb"`
 		GPUMemUtil float64 `json:"gpu_mem_util"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if !s.decode(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
@@ -232,6 +363,136 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		s.rec.Record(ev)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAgents registers or heartbeats a node agent (POST) and lists live
+// agents (GET). Both paths first evict agents whose heartbeat went stale —
+// the non-intrusive analogue of a node failure detector: the scheduler never
+// reaches into the node, it just stops trusting silence.
+func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
+	now := s.opts.Clock()
+	switch r.Method {
+	case http.MethodPost:
+		var req struct {
+			Name string `json:"name"`
+			Node int    `json:"node"`
+		}
+		if !s.decode(w, r, &req) {
+			return
+		}
+		if req.Name == "" || req.Node < 0 {
+			http.Error(w, "name and non-negative node required", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.sweepStaleLocked(now)
+		a, known := s.agents[req.Name]
+		if !known {
+			a = &agentState{Name: req.Name, Node: req.Node}
+			s.agents[req.Name] = a
+		}
+		a.Node = req.Node
+		a.LastSeen = now
+		cp := *a
+		s.mu.Unlock()
+		if !known {
+			s.rec.Record(dtrace.Event{Action: dtrace.ActNodeRepair,
+				Reason: "agent-online", Node: cp.Node + 1})
+		}
+		writeJSON(w, http.StatusOK, cp)
+	case http.MethodGet:
+		s.mu.Lock()
+		s.sweepStaleLocked(now)
+		out := make([]agentState, 0, len(s.agents))
+		for _, a := range s.agents {
+			out = append(out, *a)
+		}
+		s.mu.Unlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		writeJSON(w, http.StatusOK, out)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// sweepStaleLocked evicts agents whose last heartbeat predates the staleness
+// window, recording each eviction as a presumed node failure.
+func (s *Server) sweepStaleLocked(now time.Time) {
+	for name, a := range s.agents {
+		if now.Sub(a.LastSeen) > s.opts.AgentStaleAfter {
+			delete(s.agents, name)
+			s.rec.Record(dtrace.Event{Action: dtrace.ActNodeFail,
+				Reason: "heartbeat-stale", Node: a.Node + 1})
+		}
+	}
+}
+
+// handleChaos injects faults for integration tests (mounted only when
+// Options.EnableChaos is set):
+//
+//	{"action":"evict-agent","agent":NAME}  — drop an agent as if its node died
+//	{"action":"fail-job","job":ID}         — kill a job: profile reset, requeued
+//	{"action":"delay","delay_ms":N}        — add per-request latency (0 clears)
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Action  string `json:"action"`
+		Agent   string `json:"agent"`
+		Job     int    `json:"job"`
+		DelayMS int64  `json:"delay_ms"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	switch req.Action {
+	case "evict-agent":
+		s.mu.Lock()
+		a, ok := s.agents[req.Agent]
+		if ok {
+			delete(s.agents, req.Agent)
+		}
+		s.mu.Unlock()
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown agent %q", req.Agent), http.StatusNotFound)
+			return
+		}
+		s.rec.Record(dtrace.Event{Action: dtrace.ActNodeFail,
+			Reason: "chaos-evict", Node: a.Node + 1})
+		writeJSON(w, http.StatusOK, a)
+	case "fail-job":
+		s.mu.Lock()
+		js, ok := s.jobs[req.Job]
+		if !ok {
+			s.mu.Unlock()
+			http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
+			return
+		}
+		// The kill loses the in-memory profile: the job re-enters the system
+		// unprofiled, scored by the conservative Jumbo prior until fresh
+		// samples arrive — mirroring the simulator's requeue-through-profiler
+		// path.
+		js.Restarts++
+		js.Samples = 0
+		js.Profile = profile{}
+		s.refreshLocked(js)
+		cp := *js
+		s.mu.Unlock()
+		s.rec.Record(dtrace.Event{Job: cp.ID, Action: dtrace.ActRequeue,
+			Reason: "chaos-kill", VC: cp.VC, GPUs: cp.GPUs})
+		writeJSON(w, http.StatusOK, cp)
+	case "delay":
+		if req.DelayMS < 0 {
+			http.Error(w, "delay_ms must be non-negative", http.StatusBadRequest)
+			return
+		}
+		s.delayMS.Store(req.DelayMS)
+		writeJSON(w, http.StatusOK, map[string]int64{"delay_ms": req.DelayMS})
+	default:
+		http.Error(w, fmt.Sprintf("unknown action %q", req.Action), http.StatusBadRequest)
+	}
 }
 
 // handleTrace serves the decision-trace flight recorder: a JSON document

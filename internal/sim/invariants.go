@@ -147,6 +147,18 @@ func (s *Sim) checkInvariants() {
 				c.violate("tick %d: retired job %d has %.1f s of work left",
 					s.now, j.ID, j.RemainingWork)
 			}
+		case job.Failed:
+			// Retries exhausted (fault injection): terminal, so it must hold
+			// no GPUs and must actually have been killed at least once.
+			if s.main.Allocated(j.ID) || (s.profiler != nil && s.profiler.Allocated(j.ID)) {
+				c.violate("tick %d: failed job %d still holds GPUs", s.now, j.ID)
+			}
+			if j.Restarts == 0 {
+				c.violate("tick %d: job %d marked Failed without any fault kill", s.now, j.ID)
+			}
+			if j.Finish >= 0 {
+				c.violate("tick %d: job %d both Failed and finished at %d", s.now, j.ID, j.Finish)
+			}
 		default: // Pending, Queued
 			if s.main.Allocated(j.ID) {
 				c.violate("tick %d: job %d state %v but holds main-cluster GPUs",
@@ -155,9 +167,11 @@ func (s *Sim) checkInvariants() {
 			// Non-intrusiveness: a Queued job has either never run on the
 			// main cluster or was returned by the profiler — either way no
 			// checkpoint exists, so its remaining work must be the full
-			// duration. (Preemption, the one legal progress-preserving
-			// path, parks jobs as Pending with ColdStart > 0.)
-			if j.State == job.Queued && j.ColdStart == 0 && j.RemainingWork != float64(j.Duration) {
+			// duration. The two legal progress-preserving paths both leave a
+			// marker: preemption parks jobs with ColdStart > 0, and a
+			// fault-kill restore keeps CheckpointedWork > 0.
+			if j.State == job.Queued && j.ColdStart == 0 && j.CheckpointedWork == 0 &&
+				j.RemainingWork != float64(j.Duration) {
 				c.violate("tick %d: queued job %d kept %.1f s of progress across a restart",
 					s.now, j.ID, float64(j.Duration)-j.RemainingWork)
 			}

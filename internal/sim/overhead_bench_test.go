@@ -3,6 +3,7 @@ package sim_test
 import (
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/dtrace"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -43,6 +44,23 @@ func BenchmarkSimInvariantsOn(b *testing.B) {
 	benchSim(b, func() sim.Options {
 		return sim.Options{Tick: 30, SchedulerEvery: 60,
 			Invariants: sim.NewInvariantChecker(false)}
+	})
+}
+
+// The Options.Chaos=nil hot path must likewise cost one pointer check per
+// tick: compare BenchmarkSimChaosOff (no injector — should match
+// BenchmarkSimTracingOff) against BenchmarkSimChaosOn (armed injector
+// sampling every fault class at the calibrated rates).
+func BenchmarkSimChaosOff(b *testing.B) {
+	benchSim(b, func() sim.Options {
+		return sim.Options{Tick: 30, SchedulerEvery: 60}
+	})
+}
+
+func BenchmarkSimChaosOn(b *testing.B) {
+	benchSim(b, func() sim.Options {
+		return sim.Options{Tick: 30, SchedulerEvery: 60,
+			Chaos: chaos.NewInjector(chaos.DefaultSpec())}
 	})
 }
 

@@ -39,6 +39,15 @@ type Result struct {
 	// ViolationSamples holds the first few descriptions.
 	Violations       int
 	ViolationSamples []string
+
+	// Fault-injection outcome (all zero when Options.Chaos is nil).
+	// FailedJobs counts jobs that exhausted their retry budget (terminal,
+	// distinct from Unfinished: the cluster gave up, not the clock).
+	FailedJobs   int
+	NodeFailures int
+	GPUFailures  int
+	JobKills     int
+	Requeues     int
 }
 
 func (s *Sim) collect() *Result {
@@ -54,6 +63,10 @@ func (s *Sim) collect() *Result {
 	for _, j := range s.jobs {
 		if j.Submit < minSubmit {
 			minSubmit = j.Submit
+		}
+		if j.State == job.Failed {
+			r.FailedJobs++
+			continue
 		}
 		if j.Finish < 0 {
 			r.Unfinished++
@@ -90,7 +103,35 @@ func (s *Sim) collect() *Result {
 		r.Violations = c.Count()
 		r.ViolationSamples = c.Samples()
 	}
+	r.NodeFailures = s.nodeFailures
+	r.GPUFailures = s.gpuFailures
+	r.JobKills = s.jobKills
+	r.Requeues = s.requeues
 	return r
+}
+
+// GoodputPct is the fraction of charged GPU-time that produced completed
+// work: Σ over finished jobs of (Duration × GPUs) divided by Σ over all
+// jobs of AttainedGPUT. Kills, requeues, restart-from-zero reruns, restore
+// overheads and packing slowdowns all charge GPU-time without (fully)
+// completing work, so this is the failure-sweep's degradation metric.
+// Returns 100 when nothing was charged.
+func (r *Result) GoodputPct() float64 {
+	var useful, charged float64
+	for _, j := range r.Jobs {
+		charged += j.AttainedGPUT
+		if j.Finish >= 0 {
+			useful += float64(j.Duration) * float64(j.GPUs)
+		}
+	}
+	if charged <= 0 {
+		return 100
+	}
+	pct := useful / charged * 100
+	if pct > 100 {
+		pct = 100
+	}
+	return pct
 }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs by nearest-rank on a
@@ -212,6 +253,15 @@ func (r *Result) Summary() string {
 	}
 	if r.Violations > 0 {
 		fmt.Fprintf(&sb, " VIOLATIONS=%d", r.Violations)
+	}
+	// Chaos block only when faults actually fired, so fault-free summaries
+	// are byte-identical to the pre-chaos format.
+	if r.JobKills > 0 || r.NodeFailures > 0 || r.FailedJobs > 0 {
+		fmt.Fprintf(&sb, " goodput=%.1f%% kills=%d requeues=%d nodefail=%d gpufail=%d",
+			r.GoodputPct(), r.JobKills, r.Requeues, r.NodeFailures, r.GPUFailures)
+		if r.FailedJobs > 0 {
+			fmt.Fprintf(&sb, " FAILED=%d", r.FailedJobs)
+		}
 	}
 	return sb.String()
 }

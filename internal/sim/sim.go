@@ -23,6 +23,7 @@ package sim
 import (
 	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/dtrace"
 	"repro/internal/job"
@@ -63,6 +64,12 @@ type Options struct {
 	// tick (see InvariantChecker). Nil (the default) disables checking;
 	// violations otherwise surface on Result.Violations.
 	Invariants *InvariantChecker
+
+	// Chaos injects node/GPU/job faults each tick (see internal/chaos and
+	// chaos.go in this package). Nil (the default) disables injection; the
+	// engine then pays only a nil check. Injectors hold per-run mutable
+	// state — give every run its own.
+	Chaos *chaos.Injector
 }
 
 func (o Options) normalized(traceDays int) Options {
@@ -134,6 +141,13 @@ type Sim struct {
 	// metrics for the §4.3 utilization claims).
 	sharedStarts int
 	sharedGPUSum float64
+
+	// Fault-injection counters (Options.Chaos; see chaos.go).
+	nodeFailures int
+	gpuFailures  int
+	jobKills     int
+	requeues     int
+	exhausted    int
 }
 
 // New prepares a run of the scheduler over the trace.
@@ -171,8 +185,16 @@ func New(tr *trace.Trace, sched Scheduler, opts Options) *Sim {
 		cp.ColdStart = 0
 		cp.AttainedGPUT = 0
 		cp.Profiled = false
+		cp.Restarts = 0
+		cp.NextEligible = 0
+		cp.CheckpointedWork = 0
 		s.jobs[i] = &cp
 		s.byID[cp.ID] = &cp
+	}
+	if opts.Chaos != nil {
+		// (Re)bind resets the injector's mutable fault state, so a reused
+		// injector replays the identical schedule on a fresh run.
+		opts.Chaos.Bind(s.main.NumNodes(), s.main.Spec().GPUsPerNode)
 	}
 	return s
 }
@@ -184,6 +206,7 @@ func (s *Sim) Run() *Result {
 	for s.finished < len(s.jobs) && s.now < s.opts.MaxHorizon {
 		s.now += s.opts.Tick
 		s.advance(float64(s.opts.Tick))
+		s.applyChaos()
 
 		arrived := s.admitArrivals()
 		if arrived || s.now-s.lastSched >= s.opts.SchedulerEvery || s.dirty {
@@ -363,6 +386,7 @@ func (s *Sim) StepOnce() {
 	env := &Env{s: s}
 	s.now += s.opts.Tick
 	s.advance(float64(s.opts.Tick))
+	s.applyChaos()
 	s.admitArrivals()
 	s.sched.Tick(env)
 	s.lastSched = s.now
@@ -387,15 +411,17 @@ func (e *Env) Now() int64 { return e.s.now }
 // State.
 func (e *Env) Pending() []*job.Job {
 	s := e.s
-	// Compact the scan window: Finished is terminal, so a finished prefix
-	// never needs rescanning. Without this, every scheduler call late in a
-	// long trace is O(total jobs) even when the live window is tiny.
-	for s.pendLow < s.arriveIdx && s.jobs[s.pendLow].State == job.Finished {
+	// Compact the scan window: Finished/Failed are terminal, so a terminal
+	// prefix never needs rescanning. Without this, every scheduler call late
+	// in a long trace is O(total jobs) even when the live window is tiny.
+	for s.pendLow < s.arriveIdx && s.jobs[s.pendLow].State.Terminal() {
 		s.pendLow++
 	}
 	var out []*job.Job
 	for _, j := range s.jobs[s.pendLow:s.arriveIdx] {
-		if j.State == job.Pending || j.State == job.Queued {
+		// NextEligible hides fault-killed jobs until their requeue backoff
+		// elapses (always 0 without chaos).
+		if (j.State == job.Pending || j.State == job.Queued) && j.NextEligible <= s.now {
 			out = append(out, j)
 		}
 	}
@@ -476,6 +502,11 @@ func (s *Sim) recordGenSpeed(jobID int, gpus []cluster.GPUID) {
 	min := 0.0
 	for _, g := range gpus {
 		sp := s.main.SpeedOf(g)
+		if inj := s.opts.Chaos; inj != nil {
+			// Straggler nodes run degraded; like the generation factor, the
+			// whole job goes at its slowest worker's pace.
+			sp *= inj.SpeedFactor(g.Node)
+		}
 		if min == 0 || sp < min {
 			min = sp
 		}
@@ -544,6 +575,9 @@ func (e *Env) Preempt(j *job.Job, overheadSec float64) bool {
 	j.State = job.Pending
 	j.Preemptions++
 	j.ColdStart += overheadSec
+	// The checkpoint is durable: if a fault later kills this job, it resumes
+	// from here rather than from zero (see killJob in chaos.go).
+	j.CheckpointedWork = float64(j.Duration) - j.RemainingWork
 	e.s.record(EvPreempt, j.ID, j.GPUs, j.VC)
 	e.s.trace(dtrace.ActPreempt, j, "checkpointed", 0)
 	e.s.dirty = true
@@ -599,6 +633,7 @@ func (e *Env) StopProfiling(j *job.Job) {
 	// before profiling would otherwise pay a phantom checkpoint-restore on
 	// its next start even though no checkpoint exists anymore.
 	j.ColdStart = 0
+	j.CheckpointedWork = 0
 	e.s.record(EvProfileStop, j.ID, j.GPUs, j.VC)
 	e.s.trace(dtrace.ActProfileStop, j, "restart-from-zero", 0)
 	e.s.dirty = true

@@ -24,6 +24,7 @@ const (
 	EvProfileStart EventKind = "profile-start"
 	EvProfileStop  EventKind = "profile-stop"
 	EvFinish       EventKind = "finish"
+	EvKill         EventKind = "kill" // fault-injection kill (internal/chaos)
 )
 
 // TimelineEvent is one entry of the log.
