@@ -98,6 +98,7 @@ func experiments() []experiment {
 		{"fairness", "fairness extension: priority aging (§6)", lab.FairnessStudy},
 		{"hetero", "heterogeneous GPU generations extension (§6)", lab.HeterogeneityStudy},
 		{"figr", "goodput & JCT under failure-rate sweep (chaos extension)", lab.FigR},
+		{"warmstart", "warm-started what-if sweep via in-memory world forks", lab.WarmStartStudy},
 	}
 }
 

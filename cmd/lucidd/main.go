@@ -16,6 +16,12 @@
 // heartbeating are evicted, and SIGINT/SIGTERM drain in-flight requests
 // before the listener closes. -chaos additionally mounts POST /chaos for
 // fault-injection during integration tests.
+//
+// With -state-dir the daemon is durable: every mutating request is logged to
+// a write-ahead log under the directory (job submissions fsynced before the
+// ack), periodically compacted into a snapshot, recovered on boot — a SIGKILL
+// loses nothing that was acknowledged — and snapshotted once more after a
+// clean SIGTERM drain.
 package main
 
 import (
@@ -38,15 +44,22 @@ func main() {
 	stale := flag.Duration("agent-stale-after", 90*time.Second, "evict agents silent for longer than this")
 	maxBody := flag.Int64("max-body-bytes", 1<<20, "reject request bodies larger than this")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	stateDir := flag.String("state-dir", "", "directory for WAL + snapshot durability (empty = in-memory only)")
 	flag.Parse()
 
 	srv, err := lucidd.NewServerWith(lucidd.Options{
 		MaxBodyBytes:    *maxBody,
 		AgentStaleAfter: *stale,
 		EnableChaos:     *chaos,
+		StateDir:        *stateDir,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *stateDir != "" {
+		records, torn, fromSnap := srv.Recovery()
+		log.Printf("lucidd state dir %s: recovered %d WAL records (snapshot=%v, torn tail=%d bytes)",
+			*stateDir, records, fromSnap, torn)
 	}
 
 	httpSrv := &http.Server{

@@ -20,6 +20,20 @@
 // name is inserted before the extension) and a trace summary with the
 // deterministic digest is printed. -summarize replays a previously written
 // trace and prints the same summary without running a simulation.
+//
+// Snapshot / resume / time-travel (all require a single -sched, and the
+// world flags — trace, scale, util, chaos — must match the original run;
+// a fingerprint in the snapshot enforces it):
+//
+//	lucidsim -trace venus -sched lucid -snapshot-at 86400 -snapshot-out day1.snap
+//	lucidsim -trace venus -sched lucid -resume day1.snap
+//	lucidsim -trace venus -sched fifo -resume-at 86400 -with-scheduler sjf
+//
+// -snapshot-at writes the complete world state at the given simulated second
+// and then finishes the run; -resume restores it into a fresh scheduler and
+// continues — bit-identical to never having stopped. -resume-at forks the
+// world mid-run into a different scheduler (a what-if replay) and reports
+// both outcomes.
 package main
 
 import (
@@ -47,6 +61,11 @@ func main() {
 	invariants := flag.Bool("invariants", false, "check engine invariants every tick and report violations")
 	summarize := flag.String("summarize", "", "summarize an existing JSONL decision trace and exit")
 	chaosSpec := flag.String("chaos", "", `fault-injection spec, e.g. "nodefail=0.5,jobcrash=1" ("default" | "off" | key=value,...)`)
+	snapshotAt := flag.Int64("snapshot-at", 0, "run the selected scheduler to this simulated second, write a world snapshot, then finish the run")
+	snapshotOut := flag.String("snapshot-out", "world.snap", "snapshot path written by -snapshot-at")
+	resumeFrom := flag.String("resume", "", "restore a -snapshot-at world snapshot and run it to completion")
+	resumeAt := flag.Int64("resume-at", 0, "time-travel fork: run the base scheduler to this simulated second, then fork into -with-scheduler")
+	withSched := flag.String("with-scheduler", "", "scheduler the -resume-at fork continues with")
 	flag.Parse()
 
 	var faultSpec chaos.Spec
@@ -95,6 +114,24 @@ func main() {
 		} else {
 			fmt.Print("chaos spec disables every fault — running clean\n\n")
 		}
+	}
+
+	// Snapshot / resume / fork modes operate on one explicit scheduler.
+	if *snapshotAt > 0 || *resumeFrom != "" || *resumeAt > 0 {
+		if err := runDurable(w, durableFlags{
+			sched:      *schedName,
+			snapshotAt: *snapshotAt,
+			out:        *snapshotOut,
+			resumeFrom: *resumeFrom,
+			resumeAt:   *resumeAt,
+			withSched:  *withSched,
+			invariants: *invariants,
+			fault:      faultSpec,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	want := strings.ToLower(*schedName)
@@ -159,6 +196,121 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedName)
 		os.Exit(2)
+	}
+}
+
+// durableFlags bundles the snapshot/resume/fork mode parameters.
+type durableFlags struct {
+	sched      string
+	snapshotAt int64
+	out        string
+	resumeFrom string
+	resumeAt   int64
+	withSched  string
+	invariants bool
+	fault      chaos.Spec
+}
+
+// pickRun resolves one scheduler by name, applying the invariants and chaos
+// flags exactly as the normal run loop does.
+func pickRun(w *lab.World, name string, f durableFlags) (lab.NamedRun, error) {
+	if strings.ToLower(name) == "all" || name == "" {
+		return lab.NamedRun{}, fmt.Errorf("snapshot/resume modes need one explicit scheduler, not %q", name)
+	}
+	for _, nr := range w.Schedulers() {
+		if !strings.EqualFold(nr.Name, name) {
+			continue
+		}
+		if f.invariants {
+			nr.Opts.Invariants = sim.NewInvariantChecker(false)
+		}
+		if f.fault.Enabled() {
+			nr.Opts.Chaos = chaos.NewInjector(f.fault)
+		}
+		return nr, nil
+	}
+	return lab.NamedRun{}, fmt.Errorf("unknown scheduler %q", name)
+}
+
+// runDurable dispatches the snapshot-at / resume / time-travel-fork modes.
+func runDurable(w *lab.World, f durableFlags) error {
+	switch {
+	case f.resumeFrom != "":
+		nr, err := pickRun(w, f.sched, f)
+		if err != nil {
+			return err
+		}
+		file, err := os.Open(f.resumeFrom)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		s, err := sim.Resume(w.Eval, nr.Sched, nr.Opts, bufio.NewReader(file))
+		if err != nil {
+			return fmt.Errorf("resume %s: %w", f.resumeFrom, err)
+		}
+		fmt.Printf("resumed %s world from %s\n", nr.Name, f.resumeFrom)
+		t0 := time.Now()
+		res := s.Run()
+		fmt.Printf("%s  (wall %.1fs)\n", res.Summary(), time.Since(t0).Seconds())
+		return nil
+
+	case f.snapshotAt > 0:
+		nr, err := pickRun(w, f.sched, f)
+		if err != nil {
+			return err
+		}
+		s := sim.New(w.Eval, nr.Sched, nr.Opts)
+		if done := s.RunUntil(f.snapshotAt); done {
+			fmt.Printf("note: run completed before t=%d; snapshotting the finished world\n", f.snapshotAt)
+		}
+		file, err := os.Create(f.out)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(file)
+		if err := s.Snapshot(bw); err != nil {
+			file.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot at t=%d → %s\n", f.snapshotAt, f.out)
+		res := s.Run() // snapshots are read-only; finish the run as normal
+		fmt.Printf("%s\n", res.Summary())
+		return nil
+
+	default: // resumeAt > 0: in-process time-travel fork
+		if f.withSched == "" {
+			return fmt.Errorf("-resume-at needs -with-scheduler")
+		}
+		base, err := pickRun(w, f.sched, f)
+		if err != nil {
+			return err
+		}
+		alt, err := pickRun(w, f.withSched, f)
+		if err != nil {
+			return err
+		}
+		s := sim.New(w.Eval, base.Sched, base.Opts)
+		if done := s.RunUntil(f.resumeAt); done {
+			return fmt.Errorf("base %s run completed before t=%d — nothing to fork", base.Name, f.resumeAt)
+		}
+		forked, err := s.Fork(alt.Sched, alt.Opts)
+		if err != nil {
+			return fmt.Errorf("fork into %s: %w", alt.Name, err)
+		}
+		fmt.Printf("forked %s world at t=%d into %s\n", base.Name, f.resumeAt, alt.Name)
+		altRes := forked.Run()
+		baseRes := s.Run()
+		fmt.Printf("%s\n", baseRes.Summary())
+		fmt.Printf("%s  (what-if from t=%d)\n", altRes.Summary(), f.resumeAt)
+		return nil
 	}
 }
 

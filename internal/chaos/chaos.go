@@ -315,6 +315,30 @@ func (inj *Injector) Bind(numNodes, gpusPerNode int) {
 	}
 }
 
+// DownState returns the injector's only mutable fault state — the node →
+// repair-completion clock — as a snapshot copy. The straggler set is a pure
+// function of (seed, cluster shape) and is rebuilt by Bind, so it needs no
+// serialization.
+func (inj *Injector) DownState() map[int]int64 {
+	if len(inj.downUntil) == 0 {
+		return nil
+	}
+	out := make(map[int]int64, len(inj.downUntil))
+	for n, until := range inj.downUntil {
+		out[n] = until
+	}
+	return out
+}
+
+// SetDownState overwrites the down-node clock from a snapshot. Call after
+// Bind (Bind resets the clock).
+func (inj *Injector) SetDownState(m map[int]int64) {
+	inj.downUntil = make(map[int]int64, len(m))
+	for n, until := range m {
+		inj.downUntil[n] = until
+	}
+}
+
 // Repairs returns (and forgets) the sorted set of nodes whose repair window
 // has elapsed by now.
 func (inj *Injector) Repairs(now int64) []int {

@@ -120,6 +120,12 @@ type Lucid struct {
 	hourCount  float64
 	curHour    int64
 	lastUpdate int64
+
+	// modelsDirty records whether the Update Engine has refit the estimator
+	// since construction. A snapshot embeds the full model bundle only then;
+	// otherwise the constructor-provided models are reproducible and the
+	// snapshot stays small.
+	modelsDirty bool
 }
 
 // New assembles Lucid from trained models and a config.
@@ -166,6 +172,10 @@ func (l *Lucid) Binder() *Binder { return l.binder }
 
 // Profiler exposes the profiler (tests and benchmarks).
 func (l *Lucid) Profiler() *Profiler { return l.profiler }
+
+// ModelsRefit reports whether the Update Engine has retrained the estimator
+// since construction (tests; snapshots embed the model bundle only then).
+func (l *Lucid) ModelsRefit() bool { return l.modelsDirty }
 
 // Tick implements the full Figure 4 workflow.
 func (l *Lucid) Tick(env *sim.Env) {
@@ -416,5 +426,7 @@ func (l *Lucid) updateEngine(env *sim.Env) {
 	merged := append(append([]*job.Job(nil), l.models.History...), finished...)
 	// Refit errors leave the previous model in place — the Update Engine
 	// must never take the scheduler down.
-	_ = l.models.Estimator.Update(merged)
+	if err := l.models.Estimator.Update(merged); err == nil {
+		l.modelsDirty = true
+	}
 }

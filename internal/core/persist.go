@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -62,11 +63,42 @@ func (m *Models) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(dto)
 }
 
-// LoadModels reads a bundle written by Save.
+// LoadModels reads a bundle written by Save. Truncated, corrupted or
+// wrong-format input is rejected with a descriptive error — a missing model
+// section must never load as a silently zero-valued model that would then
+// mis-score every job.
 func LoadModels(r io.Reader) (*Models, error) {
+	dec := json.NewDecoder(r)
 	var dto bundleDTO
-	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+	if err := dec.Decode(&dto); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("core: load bundle: input empty or truncated: %w", err)
+		}
 		return nil, fmt.Errorf("core: load bundle: %w", err)
+	}
+	// A syntactically-valid document with an absent or null section would
+	// otherwise hand an empty reader to the sub-loader — and a sub-loader
+	// that tolerates `null` returns a zero-valued model. Reject up front,
+	// naming the missing section.
+	for _, sec := range []struct {
+		name string
+		raw  json.RawMessage
+	}{
+		{"analyzer_tree", dto.AnalyzerTree},
+		{"estimator_gam", dto.EstimatorGAM},
+		{"featurizer", dto.Featurizer},
+		{"throughput_gam", dto.ThroughputGAM},
+	} {
+		trimmed := bytes.TrimSpace(sec.raw)
+		if len(trimmed) == 0 || bytes.Equal(trimmed, []byte("null")) {
+			return nil, fmt.Errorf("core: load bundle: missing %q section (truncated file or not a model bundle)", sec.name)
+		}
+	}
+	// Anything after the document means the file is not a bundle (or two
+	// bundles were concatenated); loading just the first silently would hide
+	// the corruption.
+	if tok, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("core: load bundle: trailing data after bundle document (next token %v)", tok)
 	}
 	tree, err := dtree.Load(bytes.NewReader(dto.AnalyzerTree))
 	if err != nil {

@@ -74,6 +74,57 @@ func TestLoadModelsRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestLoadModelsRejectsCorruption exhaustively feeds LoadModels the failure
+// shapes a real deployment produces — empty files, torn writes, sections
+// nulled by a partial serializer, concatenated bundles — and requires a
+// descriptive error for each. A zero-valued model loading "successfully"
+// would silently mis-score every job.
+func TestLoadModelsRejectsCorruption(t *testing.T) {
+	s := trace.Venus()
+	s.NumJobs = 800
+	models, err := TrainModels(trace.NewGenerator(s).Emit(0), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := models.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	cases := []struct {
+		name, input, wantSub string
+	}{
+		{"empty file", "", "empty or truncated"},
+		{"whitespace only", "  \n", "empty or truncated"},
+		{"truncated mid-document", good[:len(good)/2], "truncated"},
+		{"empty object", "{}", `missing "analyzer_tree"`},
+		{"null analyzer", `{"analyzer_tree":null,"estimator_gam":{},"featurizer":{},"throughput_gam":{}}`,
+			`missing "analyzer_tree"`},
+		{"missing featurizer", `{"analyzer_tree":{},"estimator_gam":{},"throughput_gam":{}}`,
+			`missing "featurizer"`},
+		{"trailing garbage", strings.TrimRight(good, "\n") + "junk", "trailing data"},
+		{"concatenated bundles", good + good, "trailing data"},
+		{"wrong top-level type", `[1,2,3]`, "load bundle"},
+	}
+	for _, tc := range cases {
+		m, err := LoadModels(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: accepted (models=%v)", tc.name, m != nil)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+
+	// The pristine bundle still loads after all that (Save's trailing
+	// newline must not trip the trailing-data check).
+	if _, err := LoadModels(strings.NewReader(good)); err != nil {
+		t.Errorf("pristine bundle rejected: %v", err)
+	}
+}
+
 // probeProfiles samples a few profiles across the catalog for behavioural
 // equality checks.
 func probeProfiles() []workload.Profile {

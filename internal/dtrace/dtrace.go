@@ -303,6 +303,79 @@ func (r *Recorder) Digest() string {
 	return fmt.Sprintf("%016x", r.digest)
 }
 
+// State is the recorder's cumulative position in a trace: everything needed
+// for a restored simulation to continue the digest and summary counters as
+// if recording had never stopped. Retained events and the sink are
+// deliberately NOT part of the state — a resumed run re-attaches its own
+// sink, and the digest covers the full trace regardless of retention.
+type State struct {
+	Seq       int64            `json:"seq"`
+	Digest    uint64           `json:"digest"`
+	Dropped   int64            `json:"dropped"`
+	Counts    map[Action]int64 `json:"counts,omitempty"`
+	Reasons   map[string]int64 `json:"reasons,omitempty"`
+	RegretSum float64          `json:"regret_sum,omitempty"`
+	RegretMax float64          `json:"regret_max,omitempty"`
+	RegretN   int64            `json:"regret_n,omitempty"`
+}
+
+// SnapState captures the recorder's cumulative state (see State).
+func (r *Recorder) SnapState() State {
+	if r == nil {
+		return State{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := State{
+		Seq:       r.seq,
+		Digest:    r.digest,
+		Dropped:   r.dropped,
+		RegretSum: r.regretSum,
+		RegretMax: r.regretMax,
+		RegretN:   r.regretN,
+	}
+	if len(r.counts) > 0 {
+		st.Counts = make(map[Action]int64, len(r.counts))
+		for k, v := range r.counts {
+			st.Counts[k] = v
+		}
+	}
+	if len(r.reasons) > 0 {
+		st.Reasons = make(map[string]int64, len(r.reasons))
+		for k, v := range r.reasons {
+			st.Reasons[k] = v
+		}
+	}
+	return st
+}
+
+// SetState overwrites the recorder's cumulative counters from a snapshot,
+// so subsequent Record calls continue the interrupted trace's sequence
+// numbers and digest exactly.
+func (r *Recorder) SetState(st State) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq = st.Seq
+	r.digest = st.Digest
+	if r.digest == 0 {
+		r.digest = fnvOffset // zero-value State means "fresh trace"
+	}
+	r.dropped = st.Dropped
+	r.counts = make(map[Action]int64, len(st.Counts))
+	for k, v := range st.Counts {
+		r.counts[k] = v
+	}
+	r.reasons = make(map[string]int64, len(st.Reasons))
+	for k, v := range st.Reasons {
+		r.reasons[k] = v
+	}
+	r.regretSum, r.regretMax, r.regretN = st.RegretSum, st.RegretMax, st.RegretN
+	r.events = nil
+}
+
 // WriteJSONL writes the retained events as JSON Lines. When a keep bound
 // dropped events, prefer SetSink for a complete trace.
 func (r *Recorder) WriteJSONL(w io.Writer) error {

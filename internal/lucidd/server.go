@@ -75,6 +75,13 @@ type Options struct {
 	// EnableChaos mounts the POST /chaos fault-injection endpoint used by
 	// integration tests. Off by default — never expose it in production.
 	EnableChaos bool
+	// StateDir enables durability: mutating requests are WAL-logged there
+	// and compacted into snapshots, and the server recovers the directory's
+	// state on construction. Empty means in-memory only.
+	StateDir string
+	// CompactEvery overrides the WAL-records-per-snapshot compaction
+	// threshold (tests use tiny values). 0 selects the default.
+	CompactEvery int64
 	// Clock substitutes time.Now so staleness tests are deterministic.
 	Clock func() time.Time
 }
@@ -107,6 +114,11 @@ type Server struct {
 	// decision are recorded with their reasoning. The recorder is
 	// internally synchronized; it is used outside s.mu.
 	rec *dtrace.Recorder
+	// store is the durability layer (nil when Options.StateDir is empty).
+	// Its methods are called with mu held, which keeps WAL order consistent
+	// with the state mutations the records describe.
+	store   *store
+	started time.Time
 
 	// Graceful-shutdown state: once draining flips, new requests are refused
 	// with 503 while in-flight ones (tracked by inflight) run to completion.
@@ -163,16 +175,41 @@ func NewServerWith(opts Options) (*Server, error) {
 		mux:      http.NewServeMux(),
 		rec:      rec,
 	}
+	s.started = s.opts.Clock()
 	s.mux.HandleFunc("/jobs", s.handleJobs)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/agents", s.handleAgents)
 	s.mux.HandleFunc("/models/packing", s.handlePackingModel)
 	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	if s.opts.EnableChaos {
 		s.mux.HandleFunc("/chaos", s.handleChaos)
 	}
+	if s.opts.StateDir != "" {
+		// No concurrency yet — the server isn't serving — but openStore
+		// routes through the same *Locked apply functions the handlers use.
+		s.mu.Lock()
+		err := s.openStore(s.opts.StateDir)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// Recovery reports what the durability layer found on boot: how many WAL
+// records were replayed, whether a snapshot was loaded, and how many torn
+// bytes were truncated. Zero values when durability is off.
+func (s *Server) Recovery() (records int, tornBytes int64, fromSnapshot bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return 0, 0, false
+	}
+	return s.store.recovered.Records, s.store.recovered.TornBytes, s.store.hadSnapshot
 }
 
 // ServeHTTP implements http.Handler. It is the hardening choke point: every
@@ -181,6 +218,13 @@ func NewServerWith(opts Options) (*Server, error) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	// Liveness probes bypass the drain gate (and the chaos delay): an
+	// orchestrator must be able to see "draining" as a distinct state, not
+	// just a refused connection.
+	if r.URL.Path == "/healthz" {
+		s.handleHealthz(w, r)
+		return
+	}
 	// Increment-then-check: a request that sneaks past a concurrent
 	// Shutdown's Store either sees draining here and bounces, or was already
 	// counted and Shutdown waits for it. Either way nothing is dropped
@@ -199,21 +243,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Shutdown drains the server: new requests get 503 immediately, and the call
-// blocks until every in-flight request has completed or ctx expires.
+// blocks until every in-flight request has completed or ctx expires. After a
+// clean drain the durable state (if any) is snapshotted and the WAL closed,
+// so the next boot restores from the snapshot alone.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	tick := time.NewTicker(2 * time.Millisecond)
 	defer tick.Stop()
-	for {
-		if s.inflight.Load() == 0 {
-			return nil
-		}
+	for s.inflight.Load() != 0 {
 		select {
 		case <-ctx.Done():
+			// Drain expired with requests still in flight: leave the WAL as
+			// the source of truth rather than snapshotting a moving state.
 			return ctx.Err()
 		case <-tick.C:
 		}
 	}
+	s.mu.Lock()
+	err := s.closeStoreLocked()
+	s.store = nil
+	s.mu.Unlock()
+	return err
 }
 
 // decode parses a JSON request body, translating the body-cap error into 413
@@ -251,11 +301,21 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Lock()
 		id := s.nextID
-		s.nextID++
 		js := &jobState{ID: id, Name: req.Name, User: req.User, VC: req.VC,
-			GPUs: req.GPUs, AMP: req.AMP, Score: workload.Jumbo.String()}
-		s.jobs[id] = js
-		s.refreshLocked(js)
+			GPUs: req.GPUs, AMP: req.AMP}
+		s.applyJobLocked(js)
+		// The record is fsynced (sync=true) before the 201 is written: an
+		// acknowledged submission is durable. Apply-then-log order matters —
+		// if the append lands on the compaction threshold, the snapshot that
+		// replaces the WAL must already contain this job.
+		if err := s.logOpLocked(walOp{Op: "job", ID: id, Name: req.Name,
+			User: req.User, VC: req.VC, GPUs: req.GPUs, AMP: req.AMP}, true); err != nil {
+			delete(s.jobs, id)
+			s.nextID = id
+			s.mu.Unlock()
+			http.Error(w, fmt.Sprintf("persist job: %v", err), http.StatusInternalServerError)
+			return
+		}
 		s.mu.Unlock()
 		s.rec.Record(dtrace.Event{Job: id, Action: dtrace.ActRelease,
 			Reason: "registered", VC: js.VC, GPUs: js.GPUs})
@@ -292,14 +352,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
 		return
 	}
-	// Running mean over samples — what a DCGM poller would maintain.
-	n := float64(js.Samples)
-	js.Profile.GPUUtil = (js.Profile.GPUUtil*n + req.GPUUtil) / (n + 1)
-	js.Profile.GPUMemMB = (js.Profile.GPUMemMB*n + req.GPUMemMB) / (n + 1)
-	js.Profile.GPUMemUtil = (js.Profile.GPUMemUtil*n + req.GPUMemUtil) / (n + 1)
-	js.Samples++
-	s.refreshLocked(js)
-	if js.Samples == minSamples {
+	crossed := s.applySampleLocked(js, req.GPUUtil, req.GPUMemMB, req.GPUMemUtil)
+	// Samples are logged unsynced: losing the last batch in a crash only
+	// costs telemetry the agents re-send anyway.
+	if err := s.logOpLocked(walOp{Op: "metrics", ID: js.ID, GPUUtil: req.GPUUtil,
+		GPUMemMB: req.GPUMemMB, GPUMemUtil: req.GPUMemUtil}, false); err != nil {
+		http.Error(w, fmt.Sprintf("persist sample: %v", err), http.StatusInternalServerError)
+		return
+	}
+	if crossed {
 		// The job just crossed the profiling threshold: from here on the
 		// analyzer scores it from real metrics instead of the Jumbo prior.
 		s.rec.Record(dtrace.Event{Job: js.ID, Action: dtrace.ActProfileStop,
@@ -307,6 +368,54 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Score: js.Profile.GPUUtil})
 	}
 	writeJSON(w, http.StatusOK, js)
+}
+
+// applyJobLocked installs a registered job (live submit and WAL replay share
+// this path) and recomputes its derived fields.
+func (s *Server) applyJobLocked(js *jobState) {
+	js.Score = workload.Jumbo.String()
+	s.jobs[js.ID] = js
+	if js.ID >= s.nextID {
+		s.nextID = js.ID + 1
+	}
+	s.refreshLocked(js)
+}
+
+// applySampleLocked folds one NVIDIA-SMI-style sample into the job's running
+// mean — what a DCGM poller would maintain — and reports whether this sample
+// crossed the profiling threshold.
+func (s *Server) applySampleLocked(js *jobState, util, memMB, memUtil float64) bool {
+	n := float64(js.Samples)
+	js.Profile.GPUUtil = (js.Profile.GPUUtil*n + util) / (n + 1)
+	js.Profile.GPUMemMB = (js.Profile.GPUMemMB*n + memMB) / (n + 1)
+	js.Profile.GPUMemUtil = (js.Profile.GPUMemUtil*n + memUtil) / (n + 1)
+	js.Samples++
+	s.refreshLocked(js)
+	return js.Samples == minSamples
+}
+
+// applyAgentLocked registers or heartbeats an agent, reporting whether it was
+// already known.
+func (s *Server) applyAgentLocked(name string, node int, now time.Time) (agentState, bool) {
+	a, known := s.agents[name]
+	if !known {
+		a = &agentState{Name: name, Node: node}
+		s.agents[name] = a
+	}
+	a.Node = node
+	a.LastSeen = now
+	return *a, known
+}
+
+// applyFailJobLocked kills a job: the in-memory profile is lost and the job
+// re-enters the system unprofiled, scored by the conservative Jumbo prior
+// until fresh samples arrive — mirroring the simulator's
+// requeue-through-profiler path.
+func (s *Server) applyFailJobLocked(js *jobState) {
+	js.Restarts++
+	js.Samples = 0
+	js.Profile = profile{}
+	s.refreshLocked(js)
 }
 
 // refreshLocked recomputes score and estimate from the current state.
@@ -386,14 +495,13 @@ func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Lock()
 		s.sweepStaleLocked(now)
-		a, known := s.agents[req.Name]
-		if !known {
-			a = &agentState{Name: req.Name, Node: req.Node}
-			s.agents[req.Name] = a
+		cp, known := s.applyAgentLocked(req.Name, req.Node, now)
+		if err := s.logOpLocked(walOp{Op: "agent", Name: req.Name, Node: req.Node,
+			UnixNano: now.UnixNano()}, false); err != nil {
+			s.mu.Unlock()
+			http.Error(w, fmt.Sprintf("persist heartbeat: %v", err), http.StatusInternalServerError)
+			return
 		}
-		a.Node = req.Node
-		a.LastSeen = now
-		cp := *a
 		s.mu.Unlock()
 		if !known {
 			s.rec.Record(dtrace.Event{Action: dtrace.ActNodeRepair,
@@ -453,6 +561,7 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		a, ok := s.agents[req.Agent]
 		if ok {
 			delete(s.agents, req.Agent)
+			_ = s.logOpLocked(walOp{Op: "evict-agent", Name: req.Agent}, false)
 		}
 		s.mu.Unlock()
 		if !ok {
@@ -470,14 +579,8 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
 			return
 		}
-		// The kill loses the in-memory profile: the job re-enters the system
-		// unprofiled, scored by the conservative Jumbo prior until fresh
-		// samples arrive — mirroring the simulator's requeue-through-profiler
-		// path.
-		js.Restarts++
-		js.Samples = 0
-		js.Profile = profile{}
-		s.refreshLocked(js)
+		s.applyFailJobLocked(js)
+		_ = s.logOpLocked(walOp{Op: "fail-job", ID: js.ID}, false)
 		cp := *js
 		s.mu.Unlock()
 		s.rec.Record(dtrace.Event{Job: cp.ID, Action: dtrace.ActRequeue,
@@ -521,6 +624,72 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		Summary: s.rec.Summary(),
 		Events:  s.rec.Events(),
 	})
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while serving, 503 with
+// "draining" once Shutdown has begun. It is routed ahead of the drain gate in
+// ServeHTTP so orchestrators can observe the drain instead of a bare refusal.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// durableStatus is the /statusz view of the durability layer.
+type durableStatus struct {
+	StateDir           string  `json:"state_dir"`
+	WALRecords         int64   `json:"wal_records"` // records since the last snapshot
+	WALBytes           int64   `json:"wal_bytes"`
+	HasSnapshot        bool    `json:"has_snapshot"`
+	SnapshotAgeSec     float64 `json:"snapshot_age_sec"`
+	Compactions        int64   `json:"compactions"`
+	RecoveredRecords   int     `json:"recovered_records"`
+	RecoveredTornBytes int64   `json:"recovered_torn_bytes"`
+}
+
+// handleStatusz reports operational state: uptime, population counts, drain
+// state and — when durability is on — WAL/snapshot lag.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	now := s.opts.Clock()
+	out := struct {
+		Status    string         `json:"status"`
+		UptimeSec float64        `json:"uptime_sec"`
+		Jobs      int            `json:"jobs"`
+		Agents    int            `json:"agents"`
+		Draining  bool           `json:"draining"`
+		Durable   *durableStatus `json:"durable,omitempty"`
+	}{Status: "ok", Draining: s.draining.Load()}
+	if out.Draining {
+		out.Status = "draining"
+	}
+	s.mu.Lock()
+	out.UptimeSec = now.Sub(s.started).Seconds()
+	out.Jobs = len(s.jobs)
+	out.Agents = len(s.agents)
+	if st := s.store; st != nil {
+		out.Durable = &durableStatus{
+			StateDir:           st.dir,
+			WALRecords:         st.wal.Records(),
+			WALBytes:           st.wal.Bytes(),
+			HasSnapshot:        st.hadSnapshot,
+			SnapshotAgeSec:     now.Sub(st.snapTime).Seconds(),
+			Compactions:        st.compactions,
+			RecoveredRecords:   st.recovered.Records,
+			RecoveredTornBytes: st.recovered.TornBytes,
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handlePackingModel renders the decision tree (system transparency, A5).

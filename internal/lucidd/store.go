@@ -1,0 +1,312 @@
+package lucidd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/snap"
+)
+
+// Durability layer. When Options.StateDir is set, every mutating request is
+// logged to an append-only WAL (internal/snap framing) after it is applied,
+// and the WAL is periodically compacted into a snapshot envelope. On boot the
+// server loads the snapshot, replays the WAL through the exact same apply
+// functions the HTTP handlers use, and truncates any torn tail — so a
+// SIGKILLed daemon recovers every acknowledged submission.
+//
+// Durability classes:
+//
+//   - job submissions are fsynced before the HTTP response is written: an
+//     acknowledged job survives any crash;
+//   - metric samples, heartbeats and chaos ops are batched (WAL.SyncEvery):
+//     losing the last few seconds of telemetry on a crash is harmless — the
+//     agents re-send — while fsyncing each sample would serialize the hot
+//     ingest path on disk latency.
+//
+// Deliberately NOT persisted: the decision-trace recorder (a per-process
+// flight recorder; /trace documents the current incarnation), the chaos
+// delay knob, and the derived Score/EstSec fields (recomputed from the
+// recovered profiles by the same deterministic models).
+const (
+	snapFileName = "state.snap"
+	walFileName  = "wal.log"
+	// snapKind is the envelope kind for lucidd state snapshots.
+	snapKind = "lucidd-state"
+	// defaultCompactEvery bounds WAL growth: once this many records
+	// accumulate past the last snapshot, the state is re-snapshotted and the
+	// WAL reset.
+	defaultCompactEvery = 1024
+)
+
+// walOp is one logged mutation. Op selects the variant; unused fields stay
+// at their zero value and are omitted from the JSON.
+type walOp struct {
+	Op string `json:"op"` // "job", "metrics", "agent", "evict-agent", "fail-job"
+
+	// job: the registration with its server-assigned ID, so replay
+	// reproduces the same ID sequence the clients were told.
+	ID   int    `json:"id,omitempty"`
+	Name string `json:"name,omitempty"` // job name, or agent name for agent ops
+	User string `json:"user,omitempty"`
+	VC   string `json:"vc,omitempty"`
+	GPUs int    `json:"gpus,omitempty"`
+	AMP  bool   `json:"amp,omitempty"`
+
+	// metrics: one sample for job ID.
+	GPUUtil    float64 `json:"gpu_util,omitempty"`
+	GPUMemMB   float64 `json:"gpu_mem_mb,omitempty"`
+	GPUMemUtil float64 `json:"gpu_mem_util,omitempty"`
+
+	// agent: registration/heartbeat; UnixNano is the heartbeat time so the
+	// staleness detector works across restarts.
+	Node     int   `json:"node,omitempty"`
+	UnixNano int64 `json:"unix_nano,omitempty"`
+}
+
+// persistedJob is a jobState minus the derived fields (Score, EstSec), which
+// the recovery path recomputes through refreshLocked.
+type persistedJob struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	User     string  `json:"user"`
+	VC       string  `json:"vc,omitempty"`
+	GPUs     int     `json:"gpus"`
+	AMP      bool    `json:"amp,omitempty"`
+	Samples  int     `json:"samples,omitempty"`
+	Profile  profile `json:"profile"`
+	Restarts int     `json:"restarts,omitempty"`
+}
+
+// persistedAgent is an agentState with the heartbeat as unix nanos.
+type persistedAgent struct {
+	Name     string `json:"name"`
+	Node     int    `json:"node"`
+	UnixNano int64  `json:"unix_nano"`
+}
+
+// serverSnap is the snapshot payload: the full durable state at compaction.
+type serverSnap struct {
+	NextID int              `json:"next_id"`
+	Jobs   []persistedJob   `json:"jobs"`
+	Agents []persistedAgent `json:"agents"`
+}
+
+// store binds the server to its state directory. All methods are called with
+// the server's mu held, which also serializes WAL appends with the state
+// mutations they describe.
+type store struct {
+	dir          string
+	wal          *snap.WAL
+	compactEvery int64
+	compactions  int64
+	snapTime     time.Time // last snapshot write (or boot, if none yet)
+	recovered    snap.RecoverStats
+	hadSnapshot  bool
+}
+
+// openStore loads the snapshot (if any), replays the WAL, and leaves the
+// server ready to log. Called from NewServerWith before the server is shared.
+func (s *Server) openStore(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("lucidd: state dir: %w", err)
+	}
+	st := &store{dir: dir, compactEvery: s.opts.CompactEvery, snapTime: s.opts.Clock()}
+	if st.compactEvery <= 0 {
+		st.compactEvery = defaultCompactEvery
+	}
+
+	snapPath := filepath.Join(dir, snapFileName)
+	if raw, err := os.ReadFile(snapPath); err == nil {
+		kind, payload, rerr := snap.ReadEnvelope(bytes.NewReader(raw))
+		if rerr != nil {
+			return fmt.Errorf("lucidd: read snapshot %s: %w", snapPath, rerr)
+		}
+		if kind != snapKind {
+			return fmt.Errorf("lucidd: snapshot %s has kind %q, want %q", snapPath, kind, snapKind)
+		}
+		var ss serverSnap
+		if jerr := json.Unmarshal(payload, &ss); jerr != nil {
+			return fmt.Errorf("lucidd: decode snapshot: %w", jerr)
+		}
+		s.loadSnapLocked(ss)
+		st.hadSnapshot = true
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("lucidd: read snapshot: %w", err)
+	}
+
+	wal, stats, err := snap.OpenWAL(filepath.Join(dir, walFileName), func(payload []byte) error {
+		var op walOp
+		if jerr := json.Unmarshal(payload, &op); jerr != nil {
+			return fmt.Errorf("decode wal op: %w", jerr)
+		}
+		s.applyOpLocked(op)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	st.wal = wal
+	st.recovered = stats
+	s.store = st
+	return nil
+}
+
+// loadSnapLocked overwrites the server state from a snapshot payload,
+// recomputing the derived score/estimate fields.
+func (s *Server) loadSnapLocked(ss serverSnap) {
+	s.nextID = ss.NextID
+	if s.nextID < 1 {
+		s.nextID = 1
+	}
+	s.jobs = make(map[int]*jobState, len(ss.Jobs))
+	for _, pj := range ss.Jobs {
+		js := &jobState{ID: pj.ID, Name: pj.Name, User: pj.User, VC: pj.VC,
+			GPUs: pj.GPUs, AMP: pj.AMP, Samples: pj.Samples, Profile: pj.Profile,
+			Restarts: pj.Restarts}
+		s.jobs[js.ID] = js
+		s.refreshLocked(js)
+		if js.ID >= s.nextID {
+			s.nextID = js.ID + 1
+		}
+	}
+	s.agents = make(map[string]*agentState, len(ss.Agents))
+	for _, pa := range ss.Agents {
+		s.agents[pa.Name] = &agentState{Name: pa.Name, Node: pa.Node,
+			LastSeen: time.Unix(0, pa.UnixNano)}
+	}
+}
+
+// applyOpLocked replays one WAL op through the same mutation paths the
+// handlers use. Replay is lenient about dangling references (a metrics op for
+// a job evicted by a later compaction cannot happen — the WAL resets at every
+// snapshot — but leniency costs nothing and keeps recovery total).
+func (s *Server) applyOpLocked(op walOp) {
+	switch op.Op {
+	case "job":
+		js := &jobState{ID: op.ID, Name: op.Name, User: op.User, VC: op.VC,
+			GPUs: op.GPUs, AMP: op.AMP}
+		s.applyJobLocked(js)
+	case "metrics":
+		if js, ok := s.jobs[op.ID]; ok {
+			s.applySampleLocked(js, op.GPUUtil, op.GPUMemMB, op.GPUMemUtil)
+		}
+	case "agent":
+		s.applyAgentLocked(op.Name, op.Node, time.Unix(0, op.UnixNano))
+	case "evict-agent":
+		delete(s.agents, op.Name)
+	case "fail-job":
+		if js, ok := s.jobs[op.ID]; ok {
+			s.applyFailJobLocked(js)
+		}
+	}
+}
+
+// logOpLocked appends op to the WAL (if durability is on). sync forces an
+// inline fsync — used for ops that must survive a crash once acknowledged.
+// After the append it compacts if the WAL has outgrown the threshold.
+func (s *Server) logOpLocked(op walOp, sync bool) error {
+	if s.store == nil {
+		return nil
+	}
+	payload, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("lucidd: encode wal op: %w", err)
+	}
+	if err := s.store.wal.Append(payload, sync); err != nil {
+		return err
+	}
+	if s.store.wal.Records() >= s.store.compactEvery {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+		s.store.compactions++
+	}
+	return nil
+}
+
+// compactLocked writes a fresh snapshot (atomic tmp+rename) and resets the
+// WAL. On any error the old snapshot and WAL are left intact — recovery
+// simply replays a longer log.
+func (s *Server) compactLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	ss := serverSnap{NextID: s.nextID}
+	for _, js := range s.snapshotLocked() {
+		ss.Jobs = append(ss.Jobs, persistedJob{ID: js.ID, Name: js.Name,
+			User: js.User, VC: js.VC, GPUs: js.GPUs, AMP: js.AMP,
+			Samples: js.Samples, Profile: js.Profile, Restarts: js.Restarts})
+	}
+	for _, name := range sortedAgentNames(s.agents) {
+		a := s.agents[name]
+		ss.Agents = append(ss.Agents, persistedAgent{Name: a.Name, Node: a.Node,
+			UnixNano: a.LastSeen.UnixNano()})
+	}
+	payload, err := json.Marshal(ss)
+	if err != nil {
+		return fmt.Errorf("lucidd: encode snapshot: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteEnvelope(&buf, snapKind, payload); err != nil {
+		return err
+	}
+	final := filepath.Join(s.store.dir, snapFileName)
+	tmp := final + ".tmp"
+	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
+		return fmt.Errorf("lucidd: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("lucidd: install snapshot: %w", err)
+	}
+	if err := s.store.wal.Reset(); err != nil {
+		return fmt.Errorf("lucidd: reset wal after compaction: %w", err)
+	}
+	s.store.snapTime = s.opts.Clock()
+	s.store.hadSnapshot = true
+	return nil
+}
+
+// closeStoreLocked snapshots once more (so restart replays nothing) and
+// closes the WAL. Called from Shutdown after the drain completes.
+func (s *Server) closeStoreLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	err := s.compactLocked()
+	if cerr := s.store.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeFileSync writes data and fsyncs before closing, so the following
+// rename publishes fully-durable bytes.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func sortedAgentNames(agents map[string]*agentState) []string {
+	names := make([]string, 0, len(agents))
+	for name := range agents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

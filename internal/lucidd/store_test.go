@@ -1,0 +1,235 @@
+package lucidd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// durableServer builds a server persisting into dir. Model training is
+// shared process-wide, so this is cheap after the first test.
+func durableServer(t *testing.T, dir string, compactEvery int64) *Server {
+	t.Helper()
+	s, err := NewServerWith(Options{StateDir: dir, CompactEvery: compactEvery, EnableChaos: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// jobsBody fetches GET /jobs and returns the raw JSON (IDs are sorted, so
+// equal state yields equal bodies).
+func jobsBody(t *testing.T, s *Server) string {
+	t.Helper()
+	rec := do(t, s, http.MethodGet, "/jobs", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /jobs: %d: %s", rec.Code, rec.Body)
+	}
+	return rec.Body.String()
+}
+
+// TestRecoverFromWAL is the crash-recovery acceptance test: a server that is
+// abandoned without Shutdown (the in-process analogue of SIGKILL — no final
+// snapshot, only the WAL) must come back with every acknowledged mutation.
+func TestRecoverFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	s1 := durableServer(t, dir, 0)
+	for i := 0; i < 3; i++ {
+		body := fmt.Sprintf(`{"name":"job-%d","user":"alice","vc":"vc0","gpus":%d}`, i, i+1)
+		if rec := do(t, s1, http.MethodPost, "/jobs", body); rec.Code != http.StatusCreated {
+			t.Fatalf("submit %d: %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	for i := 0; i < minSamples; i++ {
+		// Near-idle PPO-like samples: the analyzer scores these Tiny, so the
+		// test can tell a recovered profile from the unprofiled Jumbo prior.
+		body := `{"job":1,"gpu_util":11,"gpu_mem_mb":1200,"gpu_mem_util":7}`
+		if rec := do(t, s1, http.MethodPost, "/metrics", body); rec.Code != http.StatusOK {
+			t.Fatalf("metrics: %d: %s", rec.Code, rec.Body)
+		}
+	}
+	if rec := do(t, s1, http.MethodPost, "/agents", `{"name":"agent-0","node":0}`); rec.Code != http.StatusOK {
+		t.Fatalf("agent: %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s1, http.MethodPost, "/chaos", `{"action":"fail-job","job":2}`); rec.Code != http.StatusOK {
+		t.Fatalf("fail-job: %d: %s", rec.Code, rec.Body)
+	}
+	want := jobsBody(t, s1)
+	// s1 is dropped here without Shutdown: no snapshot was ever written, so
+	// the second server rebuilds purely from WAL replay.
+
+	s2 := durableServer(t, dir, 0)
+	if got := jobsBody(t, s2); got != want {
+		t.Errorf("recovered jobs differ:\n got %s\nwant %s", got, want)
+	}
+	records, torn, fromSnap := s2.Recovery()
+	if records == 0 || torn != 0 || fromSnap {
+		t.Errorf("recovery = (%d records, %d torn, snapshot=%v), want WAL-only replay",
+			records, torn, fromSnap)
+	}
+	var recovered []jobState
+	if err := json.Unmarshal([]byte(jobsBody(t, s2)), &recovered); err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 3 {
+		t.Fatalf("recovered %d jobs, want 3", len(recovered))
+	}
+	if j := recovered[0]; j.Samples != minSamples || j.Score == "Jumbo" {
+		t.Errorf("job 1 lost its profile across the crash: %+v", j)
+	}
+	if j := recovered[1]; j.Restarts != 1 || j.Samples != 0 {
+		t.Errorf("job 2 lost its chaos kill across the crash: %+v", j)
+	}
+	// ID allocation must continue, never reuse.
+	rec := do(t, s2, http.MethodPost, "/jobs", `{"name":"after-crash","gpus":1}`)
+	var js jobState
+	if err := json.Unmarshal(rec.Body.Bytes(), &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.ID != 4 {
+		t.Errorf("post-recovery job got ID %d, want 4", js.ID)
+	}
+	// The recovered agent heartbeat survives too (it is fresh enough not to
+	// be swept).
+	arec := do(t, s2, http.MethodGet, "/agents", "")
+	var agents []agentState
+	if err := json.Unmarshal(arec.Body.Bytes(), &agents); err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != 1 || agents[0].Name != "agent-0" {
+		t.Errorf("recovered agents = %+v, want [agent-0]", agents)
+	}
+}
+
+// TestRecoverTornTail crashes mid-append: garbage after the last valid record
+// must be truncated, everything before it recovered.
+func TestRecoverTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s1 := durableServer(t, dir, 0)
+	if rec := do(t, s1, http.MethodPost, "/jobs", `{"name":"survivor","gpus":2}`); rec.Code != http.StatusCreated {
+		t.Fatalf("submit: %d: %s", rec.Code, rec.Body)
+	}
+	want := jobsBody(t, s1)
+
+	walPath := filepath.Join(dir, walFileName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x37, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := durableServer(t, dir, 0)
+	records, torn, _ := s2.Recovery()
+	if records != 1 || torn != 5 {
+		t.Errorf("recovery = (%d records, %d torn), want (1, 5)", records, torn)
+	}
+	if got := jobsBody(t, s2); got != want {
+		t.Errorf("torn-tail recovery lost state:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCompactionAndShutdown drives the WAL past the compaction threshold,
+// checks /statusz reflects the snapshot, then shuts down cleanly and verifies
+// the next boot restores from the snapshot with an empty WAL.
+func TestCompactionAndShutdown(t *testing.T) {
+	dir := t.TempDir()
+	s1 := durableServer(t, dir, 4)
+	for i := 0; i < 6; i++ {
+		body := fmt.Sprintf(`{"name":"job-%d","gpus":1}`, i)
+		if rec := do(t, s1, http.MethodPost, "/jobs", body); rec.Code != http.StatusCreated {
+			t.Fatalf("submit %d: %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	var status struct {
+		Durable *durableStatus `json:"durable"`
+	}
+	if err := json.Unmarshal(do(t, s1, http.MethodGet, "/statusz", "").Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Durable == nil {
+		t.Fatal("durable server reports no durable status")
+	}
+	if status.Durable.Compactions < 1 || !status.Durable.HasSnapshot {
+		t.Errorf("expected a compaction after 6 submits with threshold 4: %+v", status.Durable)
+	}
+	if status.Durable.WALRecords >= 6 {
+		t.Errorf("WAL was not reset by compaction: %d records", status.Durable.WALRecords)
+	}
+	want := jobsBody(t, s1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	s2 := durableServer(t, dir, 4)
+	records, torn, fromSnap := s2.Recovery()
+	if records != 0 || torn != 0 || !fromSnap {
+		t.Errorf("post-shutdown recovery = (%d records, %d torn, snapshot=%v), want snapshot-only",
+			records, torn, fromSnap)
+	}
+	if got := jobsBody(t, s2); got != want {
+		t.Errorf("snapshot recovery lost state:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestHealthz covers the probe contract: 200 while serving, 503 "draining"
+// after Shutdown begins (served past the drain gate).
+func TestHealthz(t *testing.T) {
+	s, err := NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d: %s", rec.Code, rec.Body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec = do(t, s, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "draining" {
+		t.Fatalf("healthz body = %v, want status=draining", body)
+	}
+}
+
+// TestStatusz checks the operational report on a plain in-memory server.
+func TestStatusz(t *testing.T) {
+	s := testServer(t)
+	rec := do(t, s, http.MethodGet, "/statusz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("statusz: %d: %s", rec.Code, rec.Body)
+	}
+	var status struct {
+		Status    string         `json:"status"`
+		UptimeSec float64        `json:"uptime_sec"`
+		Durable   *durableStatus `json:"durable"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Status != "ok" || status.UptimeSec < 0 {
+		t.Errorf("statusz = %+v", status)
+	}
+	if status.Durable != nil {
+		t.Errorf("in-memory server reports durable status: %+v", status.Durable)
+	}
+}

@@ -95,6 +95,7 @@ func (o Options) normalized(traceDays int) Options {
 // Sim is one simulation run.
 type Sim struct {
 	opts     Options
+	tr       *trace.Trace // retained for Snapshot fingerprinting and Fork
 	jobs     []*job.Job
 	byID     map[int]*job.Job
 	main     *cluster.Cluster
@@ -155,6 +156,7 @@ func New(tr *trace.Trace, sched Scheduler, opts Options) *Sim {
 	opts = opts.normalized(tr.Days)
 	s := &Sim{
 		opts:         opts,
+		tr:           tr,
 		main:         cluster.New(tr.Cluster),
 		sched:        sched,
 		running:      make(map[int]*job.Job),
@@ -199,35 +201,60 @@ func New(tr *trace.Trace, sched Scheduler, opts Options) *Sim {
 	return s
 }
 
+// live reports whether the simulation still has work within the horizon.
+func (s *Sim) live() bool {
+	return s.finished < len(s.jobs) && s.now < s.opts.MaxHorizon
+}
+
+// stepTick executes exactly one tick of the engine loop. Run, RunUntil and
+// a resumed run all drive this same body, so a snapshot taken between ticks
+// continues with the identical decision sequence an uninterrupted run would
+// have produced.
+func (s *Sim) stepTick(env *Env) {
+	s.now += s.opts.Tick
+	s.advance(float64(s.opts.Tick))
+	s.applyChaos()
+
+	arrived := s.admitArrivals()
+	if arrived || s.now-s.lastSched >= s.opts.SchedulerEvery || s.dirty {
+		s.dirty = false
+		s.sched.Tick(env)
+		s.lastSched = s.now
+		// Unconsumed annotations would mislabel a later, unrelated
+		// event; a scheduler round's explanations die with the round.
+		if len(s.pendAnn) > 0 {
+			clear(s.pendAnn)
+		}
+	}
+	s.recomputeSpeeds()
+	s.checkInvariants()
+
+	if s.now-s.lastSample >= s.opts.SampleEvery {
+		s.sample()
+		s.lastSample = s.now
+	}
+}
+
 // Run executes the simulation to completion (all jobs finished) or the
 // horizon, returning aggregate metrics.
 func (s *Sim) Run() *Result {
 	env := &Env{s: s}
-	for s.finished < len(s.jobs) && s.now < s.opts.MaxHorizon {
-		s.now += s.opts.Tick
-		s.advance(float64(s.opts.Tick))
-		s.applyChaos()
-
-		arrived := s.admitArrivals()
-		if arrived || s.now-s.lastSched >= s.opts.SchedulerEvery || s.dirty {
-			s.dirty = false
-			s.sched.Tick(env)
-			s.lastSched = s.now
-			// Unconsumed annotations would mislabel a later, unrelated
-			// event; a scheduler round's explanations die with the round.
-			if len(s.pendAnn) > 0 {
-				clear(s.pendAnn)
-			}
-		}
-		s.recomputeSpeeds()
-		s.checkInvariants()
-
-		if s.now-s.lastSample >= s.opts.SampleEvery {
-			s.sample()
-			s.lastSample = s.now
-		}
+	for s.live() {
+		s.stepTick(env)
 	}
 	return s.collect()
+}
+
+// RunUntil executes ticks until the clock reaches at least t (or the run
+// completes) and reports whether the simulation is done. It leaves the
+// engine at a tick boundary — the consistent point Snapshot serializes —
+// after which Run picks up exactly where an uninterrupted run would be.
+func (s *Sim) RunUntil(t int64) bool {
+	env := &Env{s: s}
+	for s.live() && s.now < t {
+		s.stepTick(env)
+	}
+	return !s.live()
 }
 
 // advance integrates dt seconds of execution for running and profiling

@@ -1,0 +1,242 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte(`{"now":3600,"jobs":[1,2,3]}`)
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "sim-world", payload); err != nil {
+		t.Fatal(err)
+	}
+	kind, got, err := ReadEnvelope(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "sim-world" || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: kind=%q payload=%q", kind, got)
+	}
+}
+
+func TestEnvelopeDeterministic(t *testing.T) {
+	payload := []byte("same state twice")
+	var a, b bytes.Buffer
+	if err := WriteEnvelope(&a, "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEnvelope(&b, "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical payloads produced different envelope bytes")
+	}
+}
+
+func TestEnvelopeRejectsTruncationAndCorruption(t *testing.T) {
+	payload := []byte("the complete simulator world")
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, "sim-world", payload); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Every proper prefix must fail loudly, never parse as empty state.
+	for cut := 0; cut < len(whole); cut++ {
+		if _, _, err := ReadEnvelope(bytes.NewReader(whole[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(whole))
+		}
+	}
+	// Any single flipped payload byte must fail the digest.
+	for i := len(whole) - len(payload); i < len(whole); i++ {
+		mut := append([]byte(nil), whole...)
+		mut[i] ^= 0x40
+		if _, _, err := ReadEnvelope(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipped payload byte %d accepted", i)
+		}
+	}
+	// Wrong magic.
+	mut := append([]byte(nil), whole...)
+	mut[0] = 'X'
+	if _, _, err := ReadEnvelope(bytes.NewReader(mut)); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic not rejected: %v", err)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("a"), {}, []byte("third record with more bytes")}
+	for _, p := range payloads {
+		if err := AppendRecord(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range payloads {
+		got, err := ReadRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, err := ReadRecord(r); err != io.EOF {
+		t.Fatalf("want clean EOF after last record, got %v", err)
+	}
+}
+
+func TestReadRecordCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AppendRecord(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Torn tail: every strict prefix (except empty = clean EOF) is corrupt.
+	for cut := 1; cut < len(whole); cut++ {
+		_, err := ReadRecord(bytes.NewReader(whole[:cut]))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix %d/%d: want ErrCorrupt, got %v", cut, len(whole), err)
+		}
+	}
+	// Flipped payload byte: CRC catches it.
+	mut := append([]byte(nil), whole...)
+	mut[len(mut)-1] ^= 0x01
+	if _, err := ReadRecord(bytes.NewReader(mut)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestWALRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+
+	w, stats, err := OpenWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 0 || stats.TornBytes != 0 {
+		t.Fatalf("fresh wal reported prior state: %+v", stats)
+	}
+	for _, p := range []string{"op-1", "op-2", "op-3"} {
+		if err := w.Append([]byte(p), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: chop bytes off the last record.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []string
+	w2, stats, err := OpenWAL(path, func(p []byte) error {
+		replayed = append(replayed, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"op-1", "op-2"}; len(replayed) != 2 || replayed[0] != want[0] || replayed[1] != want[1] {
+		t.Fatalf("replayed %v, want %v", replayed, want)
+	}
+	if stats.TornBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	// The log must be append-clean after truncation.
+	if err := w2.Append([]byte("op-4"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed = nil
+	w3, _, err := OpenWAL(path, func(p []byte) error {
+		replayed = append(replayed, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if want := []string{"op-1", "op-2", "op-4"}; len(replayed) != 3 || replayed[2] != "op-4" {
+		t.Fatalf("after re-append replayed %v, want %v", replayed, want)
+	}
+	if w3.Records() != 3 {
+		t.Fatalf("Records() = %d, want 3", w3.Records())
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := OpenWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte("record"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 || w.Bytes() != 0 {
+		t.Fatalf("after reset: records=%d bytes=%d", w.Records(), w.Bytes())
+	}
+	if err := w.Append([]byte("fresh"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	w2, _, err := OpenWAL(path, func(p []byte) error { got = append(got, string(p)); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 1 || got[0] != "fresh" {
+		t.Fatalf("after reset+append replay = %v", got)
+	}
+}
+
+func TestWALBatchedSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _, err := OpenWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SyncEvery = 3
+	for i := 0; i < 2; i++ {
+		if err := w.Append([]byte("x"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.unsynced != 2 {
+		t.Fatalf("unsynced = %d before threshold, want 2", w.unsynced)
+	}
+	if err := w.Append([]byte("x"), false); err != nil {
+		t.Fatal(err)
+	}
+	if w.unsynced != 0 {
+		t.Fatalf("unsynced = %d after threshold append, want 0", w.unsynced)
+	}
+}

@@ -1,0 +1,220 @@
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL record framing (little-endian):
+//
+//	length uint32   payload length in bytes
+//	crc    uint32   CRC-32 (IEEE) over the payload
+//	payload []byte
+//
+// Recovery semantics: a record is valid only if the full frame is present
+// AND the CRC matches. Replay stops at the first invalid frame and reports
+// its offset; everything before it is intact (a prefix property the CRC
+// framing guarantees for torn tails from crashes mid-write). OpenWAL
+// truncates the torn tail so the log is append-clean again.
+const (
+	recHeaderLen = 8
+	// MaxRecordLen bounds a single WAL record. A corrupted length field
+	// otherwise turns replay into a multi-gigabyte allocation.
+	MaxRecordLen = 16 << 20
+)
+
+// ErrCorrupt marks a frame that is present but fails validation (bad CRC or
+// implausible length). Callers distinguish it from clean EOF.
+var ErrCorrupt = errors.New("snap: corrupt WAL record")
+
+// AppendRecord frames payload into w as a single contiguous write.
+func AppendRecord(w io.Writer, payload []byte) error {
+	if len(payload) > MaxRecordLen {
+		return fmt.Errorf("snap: record of %d bytes exceeds max %d", len(payload), MaxRecordLen)
+	}
+	buf := make([]byte, recHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[recHeaderLen:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadRecord reads one framed record. It returns io.EOF on a clean end
+// (zero bytes before the next frame), and an error wrapping ErrCorrupt for
+// a torn or damaged frame.
+func ReadRecord(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, recHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean boundary
+		}
+		return nil, fmt.Errorf("%w: torn header: %v", ErrCorrupt, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxRecordLen {
+		return nil, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: torn payload: %v", ErrCorrupt, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}
+
+// WAL is an append-only, CRC-framed log backed by one file. Appends are
+// durable after Sync; Append(sync=true) syncs inline (used for operations
+// that must survive a crash once acknowledged), while sync=false batches
+// fsyncs every SyncEvery records (heartbeats, metrics — cheap to lose,
+// expensive to sync one by one).
+type WAL struct {
+	f         *os.File
+	path      string
+	SyncEvery int // batched-fsync threshold for Append(sync=false); 0 = every append
+	unsynced  int
+	records   int64
+	bytes     int64
+}
+
+// RecoverStats describes what OpenWAL found on disk.
+type RecoverStats struct {
+	Records   int   // valid records replayed
+	TornBytes int64 // bytes truncated from a damaged tail
+}
+
+// OpenWAL opens (creating if absent) the log at path, replays every valid
+// record through apply, truncates any torn tail, and leaves the file
+// positioned for appending. apply may be nil to skip replay consumption
+// (the scan still validates and truncates).
+func OpenWAL(path string, apply func(payload []byte) error) (*WAL, RecoverStats, error) {
+	var stats RecoverStats
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, stats, fmt.Errorf("snap: open wal: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, stats, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, stats, err
+	}
+	var off int64
+	br := newCountingReader(f)
+	for {
+		payload, rerr := ReadRecord(br)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			if !errors.Is(rerr, ErrCorrupt) {
+				f.Close()
+				return nil, stats, rerr
+			}
+			// Torn or damaged tail: drop everything from the bad frame on.
+			stats.TornBytes = size - off
+			if terr := f.Truncate(off); terr != nil {
+				f.Close()
+				return nil, stats, fmt.Errorf("snap: truncate torn wal tail: %w", terr)
+			}
+			break
+		}
+		if apply != nil {
+			if aerr := apply(payload); aerr != nil {
+				f.Close()
+				return nil, stats, fmt.Errorf("snap: wal replay at offset %d: %w", off, aerr)
+			}
+		}
+		stats.Records++
+		off = br.n
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, stats, err
+	}
+	w := &WAL{f: f, path: path, SyncEvery: 64, records: int64(stats.Records), bytes: off}
+	return w, stats, nil
+}
+
+// Append frames payload onto the log. With sync=true the record is fsynced
+// before Append returns; with sync=false durability is deferred to the
+// batching threshold, an explicit Sync, or Close.
+func (w *WAL) Append(payload []byte, sync bool) error {
+	if err := AppendRecord(w.f, payload); err != nil {
+		return fmt.Errorf("snap: wal append: %w", err)
+	}
+	w.records++
+	w.bytes += int64(recHeaderLen + len(payload))
+	w.unsynced++
+	if sync || (w.SyncEvery > 0 && w.unsynced >= w.SyncEvery) || w.SyncEvery == 0 {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync flushes pending records to stable storage.
+func (w *WAL) Sync() error {
+	if w.unsynced == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("snap: wal sync: %w", err)
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// Records reports how many valid records the log holds (replayed + appended).
+func (w *WAL) Records() int64 { return w.records }
+
+// Bytes reports the log's valid length in bytes.
+func (w *WAL) Bytes() int64 { return w.bytes }
+
+// Reset truncates the log to empty after a successful snapshot compaction.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.records, w.bytes, w.unsynced = 0, 0, 0
+	return nil
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// countingReader tracks the byte offset consumed so replay knows where the
+// last valid record ended.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -22,6 +22,14 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State exposes the generator's internal counter for snapshotting. Together
+// with SetState it lets a restored simulation continue the exact random
+// stream an interrupted run would have drawn.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal counter (see State).
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Fork derives an independent generator from this one. The child's stream is
 // decorrelated from the parent's by mixing in a large odd constant, so a
 // trace generator can hand each subsystem its own stream without the streams
