@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/lab"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -156,6 +157,7 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "trace scale for end-to-end experiments")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids")
+	metricsOut := flag.String("metrics-out", "", "write suite metrics (per-experiment wall-clock, world-cache stats) to this path in Prometheus text format")
 	flag.Parse()
 
 	lab.SetParallelism(*parallel)
@@ -172,6 +174,15 @@ func main() {
 	for _, id := range ids {
 		want[strings.TrimSpace(id)] = true
 	}
+	// The suite registry makes a benchmark run scrape-compatible with the
+	// rest of the system: per-experiment wall-clock and world-cache hit
+	// rates land in the same text format lucidd serves, so CI archives one
+	// artifact kind for both.
+	reg := metrics.New()
+	expSeconds := reg.GaugeVec("lucidbench_experiment_seconds",
+		"Wall-clock seconds per experiment.", "exp")
+	expRuns := reg.Counter("lucidbench_experiments_total", "Experiments executed.")
+
 	ran := 0
 	suiteStart := time.Now()
 	for _, e := range exps {
@@ -186,13 +197,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(t0).Seconds()
+		expSeconds.With(e.id).Set(elapsed)
+		expRuns.Inc()
 		fmt.Println(rep)
-		fmt.Printf("(%.1fs)\n\n", time.Since(t0).Seconds())
+		fmt.Printf("(%.1fs)\n\n", elapsed)
 	}
+	builds, hits := lab.WorldCacheStats()
 	if ran > 1 {
-		builds, hits := lab.WorldCacheStats()
 		fmt.Printf("suite wall-clock: %.1fs (parallelism %d; worlds built %d, cache hits %d)\n",
 			time.Since(suiteStart).Seconds(), lab.Parallelism(), builds, hits)
+	}
+	if *metricsOut != "" && ran > 0 {
+		reg.Gauge("lucidbench_suite_seconds", "Suite wall-clock seconds.").
+			Set(time.Since(suiteStart).Seconds())
+		reg.Gauge("lucidbench_worlds_built", "Worlds (trace + trained models) built.").
+			Set(float64(builds))
+		reg.Gauge("lucidbench_world_cache_hits", "World cache hits.").
+			Set(float64(hits))
+		reg.Gauge("lucidbench_parallelism", "Concurrent simulation-run cap.").
+			Set(float64(lab.Parallelism()))
+		if err := os.WriteFile(*metricsOut, []byte(reg.Render()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write metrics dump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("suite metrics → %s\n", *metricsOut)
 	}
 	if ran == 0 {
 		known := make([]string, 0, len(exps))

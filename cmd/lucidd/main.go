@@ -10,6 +10,7 @@
 //	curl -XPOST localhost:8080/metrics -d '{"job":1,"gpu_util":55,"gpu_mem_mb":2600,"gpu_mem_util":38}'
 //	curl -XPOST localhost:8080/agents -d '{"name":"agent-0","node":0}'
 //	curl localhost:8080/schedule
+//	curl localhost:8080/metrics        # GET: Prometheus scrape of the daemon itself
 //
 // The process is hardened against failing clients: request bodies are
 // capped, slow-loris connections hit read/write deadlines, agents that stop
@@ -22,6 +23,11 @@
 // ack), periodically compacted into a snapshot, recovered on boot — a SIGKILL
 // loses nothing that was acknowledged — and snapshotted once more after a
 // clean SIGTERM drain.
+//
+// GET /metrics serves the daemon's own instruments (request latency and
+// status codes per endpoint, WAL append/fsync latency, snapshot cost, queue
+// depth, agent count, recovery stats) in Prometheus text format; -pprof-addr
+// mounts net/http/pprof on a separate listener — keep it loopback-only.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +52,7 @@ func main() {
 	maxBody := flag.Int64("max-body-bytes", 1<<20, "reject request bodies larger than this")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	stateDir := flag.String("state-dir", "", "directory for WAL + snapshot durability (empty = in-memory only)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it private")
 	flag.Parse()
 
 	srv, err := lucidd.NewServerWith(lucidd.Options{
@@ -60,6 +68,25 @@ func main() {
 		records, torn, fromSnap := srv.Recovery()
 		log.Printf("lucidd state dir %s: recovered %d WAL records (snapshot=%v, torn tail=%d bytes)",
 			*stateDir, records, fromSnap, torn)
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener (typically loopback-only), never the
+		// public mux: profiles leak source paths and heap contents. The
+		// handlers are mounted explicitly on a fresh mux rather than via the
+		// net/http/pprof import side effect on DefaultServeMux.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("lucidd pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

@@ -21,6 +21,11 @@
 // deterministic digest is printed. -summarize replays a previously written
 // trace and prints the same summary without running a simulation.
 //
+// With -metrics-out, each run records engine metrics (tick phase timings,
+// scheduler decision latency, queue depth) and dumps them in Prometheus text
+// format (again one file per scheduler when -sched all). Metrics never
+// influence the run: digests are identical with or without them.
+//
 // Snapshot / resume / time-travel (all require a single -sched, and the
 // world flags — trace, scale, util, chaos — must match the original run;
 // a fingerprint in the snapshot enforces it):
@@ -48,6 +53,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/dtrace"
 	"repro/internal/lab"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -60,6 +66,7 @@ func main() {
 	decisionTrace := flag.String("decision-trace", "", "write a JSONL decision trace to this path and print its summary")
 	invariants := flag.Bool("invariants", false, "check engine invariants every tick and report violations")
 	summarize := flag.String("summarize", "", "summarize an existing JSONL decision trace and exit")
+	metricsOut := flag.String("metrics-out", "", "write each run's engine metrics (tick phase timings, scheduler decision latency) to this path in Prometheus text format")
 	chaosSpec := flag.String("chaos", "", `fault-injection spec, e.g. "nodefail=0.5,jobcrash=1" ("default" | "off" | key=value,...)`)
 	snapshotAt := flag.Int64("snapshot-at", 0, "run the selected scheduler to this simulated second, write a world snapshot, then finish the run")
 	snapshotOut := flag.String("snapshot-out", "world.snap", "snapshot path written by -snapshot-at")
@@ -172,9 +179,22 @@ func main() {
 			nr.Opts.DecisionTrace = rec
 			fmt.Printf("decision trace → %s\n", path)
 		}
+		var reg *metrics.Registry
+		if *metricsOut != "" {
+			reg = metrics.New()
+			nr.Opts.Metrics = reg
+		}
 		t0 := time.Now()
 		res := w.Run(nr)
 		fmt.Printf("%s  (wall %.1fs)\n", res.Summary(), time.Since(t0).Seconds())
+		if reg != nil {
+			path := tracePath(*metricsOut, nr.Name, want == "all")
+			if err := os.WriteFile(path, []byte(reg.Render()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("engine metrics → %s\n", path)
+		}
 		if res.Violations > 0 {
 			for _, v := range res.ViolationSamples {
 				fmt.Printf("  violation: %s\n", v)

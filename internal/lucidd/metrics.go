@@ -1,0 +1,119 @@
+package lucidd
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Server observability. Every server owns a metrics registry: GET /metrics
+// serves it in Prometheus text exposition format, so the same scrape
+// infrastructure that watches the node agents' GPUs can watch the control
+// plane itself. The instruments cover the three layers an operator debugs in
+// practice — the HTTP surface (per-endpoint latency and status codes), the
+// durability layer (WAL append and fsync latency, snapshot/compaction cost),
+// and the scheduler's population (queue depth, profiled jobs, live agents).
+
+// serverMetrics bundles the pre-registered instruments.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	httpReqs    *metrics.CounterVec   // lucidd_http_requests_total{path,method,code}
+	httpLatency *metrics.HistogramVec // lucidd_http_request_seconds{path}
+
+	walAppend *metrics.Histogram // lucidd_wal_append_seconds
+	walFsync  *metrics.Histogram // lucidd_wal_fsync_seconds
+	snapshot  *metrics.Histogram // lucidd_snapshot_seconds
+	compacts  *metrics.Counter   // lucidd_compactions_total
+
+	recRecords *metrics.Gauge // lucidd_recovered_wal_records
+	recTorn    *metrics.Gauge // lucidd_recovered_torn_bytes
+	recSnap    *metrics.Gauge // lucidd_recovered_from_snapshot (0/1)
+
+	queueDepth *metrics.Gauge // lucidd_queue_depth
+	profiled   *metrics.Gauge // lucidd_jobs_profiled
+	agents     *metrics.Gauge // lucidd_agents
+}
+
+// latencyBuckets spans 10µs–~80s: local WAL fsyncs sit at the bottom,
+// chaos-delayed or drain-blocked requests at the top.
+func latencyBuckets() []float64 { return metrics.ExpBuckets(1e-5, 2, 24) }
+
+func newServerMetrics(clock func() time.Time) *serverMetrics {
+	reg := metrics.New()
+	reg.SetClock(clock)
+	return &serverMetrics{
+		reg: reg,
+		httpReqs: reg.CounterVec("lucidd_http_requests_total",
+			"HTTP requests by endpoint, method and status code.",
+			"path", "method", "code"),
+		httpLatency: reg.HistogramVec("lucidd_http_request_seconds",
+			"HTTP request latency by endpoint.", latencyBuckets(), "path"),
+		walAppend: reg.Histogram("lucidd_wal_append_seconds",
+			"WAL record append latency (including inline fsync when requested).",
+			latencyBuckets()),
+		walFsync: reg.Histogram("lucidd_wal_fsync_seconds",
+			"WAL fsync latency.", latencyBuckets()),
+		snapshot: reg.Histogram("lucidd_snapshot_seconds",
+			"Snapshot write + WAL reset (compaction) duration.", latencyBuckets()),
+		compacts: reg.Counter("lucidd_compactions_total",
+			"Snapshot compactions performed."),
+		recRecords: reg.Gauge("lucidd_recovered_wal_records",
+			"WAL records replayed at boot."),
+		recTorn: reg.Gauge("lucidd_recovered_torn_bytes",
+			"Torn WAL tail bytes truncated at boot."),
+		recSnap: reg.Gauge("lucidd_recovered_from_snapshot",
+			"1 if boot state was loaded from a snapshot, else 0."),
+		queueDepth: reg.Gauge("lucidd_queue_depth",
+			"Registered jobs awaiting scheduling."),
+		profiled: reg.Gauge("lucidd_jobs_profiled",
+			"Jobs whose profile has reached the minimum sample count."),
+		agents: reg.Gauge("lucidd_agents", "Live node agents."),
+	}
+}
+
+// metricsPaths are the routes ServeHTTP labels individually; anything else
+// (404s, probes for /favicon.ico, scanners) collapses into "other" so a
+// hostile client cannot explode the label cardinality.
+var metricsPaths = map[string]bool{
+	"/jobs": true, "/metrics": true, "/schedule": true, "/agents": true,
+	"/models/packing": true, "/trace": true, "/healthz": true,
+	"/statusz": true, "/chaos": true,
+}
+
+func normalizePath(p string) string {
+	if metricsPaths[p] {
+		return p
+	}
+	return "other"
+}
+
+// statusRecorder captures the status code a handler writes so ServeHTTP can
+// label the request counter. Handlers that never call WriteHeader implicitly
+// send 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// observePopulationLocked refreshes the population gauges from current state;
+// called with s.mu held at scrape time, so a scrape always reflects a
+// consistent snapshot.
+func (s *Server) observePopulationLocked() {
+	m := s.met
+	profiled := 0
+	for _, js := range s.jobs {
+		if js.Samples >= minSamples {
+			profiled++
+		}
+	}
+	m.queueDepth.Set(float64(len(s.jobs)))
+	m.profiled.Set(float64(profiled))
+	m.agents.Set(float64(len(s.agents)))
+}

@@ -1,0 +1,94 @@
+package lucidd
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestMetricsScrapeRoundTrip drives a scripted submit → sample → schedule
+// sequence against a durable server, then scrapes GET /metrics and checks
+// the Prometheus text covers the three instrumented layers: per-endpoint
+// request latency and status codes, WAL append+fsync latency, and the
+// population gauges.
+func TestMetricsScrapeRoundTrip(t *testing.T) {
+	s, err := NewServerWith(Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, s, http.MethodPost, "/jobs",
+		`{"name":"train-v1","user":"alice","vc":"vc0","gpus":2}`); rec.Code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", rec.Code, rec.Body)
+	}
+	for i := 0; i < 3; i++ {
+		if rec := do(t, s, http.MethodPost, "/metrics",
+			`{"job":1,"gpu_util":55,"gpu_mem_mb":2600,"gpu_mem_util":38}`); rec.Code != http.StatusOK {
+			t.Fatalf("sample %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	if rec := do(t, s, http.MethodPost, "/agents", `{"name":"agent-0","node":0}`); rec.Code != http.StatusOK {
+		t.Fatalf("agent: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, s, http.MethodGet, "/schedule", ""); rec.Code != http.StatusOK {
+		t.Fatalf("schedule: %d %s", rec.Code, rec.Body)
+	}
+	// One deliberate 404 to check error codes are counted too.
+	if rec := do(t, s, http.MethodPost, "/metrics", `{"job":99}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", rec.Code)
+	}
+
+	rec := do(t, s, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scrape: %d %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != metrics.TextContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE lucidd_http_requests_total counter",
+		`lucidd_http_requests_total{path="/jobs",method="POST",code="201"} 1`,
+		`lucidd_http_requests_total{path="/metrics",method="POST",code="200"} 3`,
+		`lucidd_http_requests_total{path="/metrics",method="POST",code="404"} 1`,
+		`lucidd_http_requests_total{path="/schedule",method="GET",code="200"} 1`,
+		`lucidd_http_request_seconds_bucket{path="/jobs",le="+Inf"} 1`,
+		"# TYPE lucidd_wal_append_seconds histogram",
+		"# TYPE lucidd_wal_fsync_seconds histogram",
+		"lucidd_queue_depth 1",
+		"lucidd_jobs_profiled 1",
+		"lucidd_agents 1",
+		"lucidd_recovered_wal_records 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Submit + 3 samples + heartbeat + failed-sample-404 (not logged) = 5
+	// appends; the submit fsyncs inline.
+	appends := s.met.walAppend.Count()
+	if appends != 5 {
+		t.Errorf("wal append observations = %d, want 5", appends)
+	}
+	if s.met.walFsync.Count() == 0 {
+		t.Error("no wal fsync observed despite synced job submission")
+	}
+}
+
+// TestMetricsPathLabelBounded collapses unknown paths into "other" so
+// scanners cannot explode the label cardinality.
+func TestMetricsPathLabelBounded(t *testing.T) {
+	s := testServer(t)
+	do(t, s, http.MethodGet, "/favicon.ico", "")
+	do(t, s, http.MethodGet, "/secret/../../etc/passwd", "")
+	out := s.Metrics().Render()
+	if !strings.Contains(out, `path="other"`) {
+		t.Fatal("unknown paths not collapsed into \"other\"")
+	}
+	for _, leak := range []string{"favicon", "passwd"} {
+		if strings.Contains(out, leak) {
+			t.Fatalf("raw path %q leaked into exposition", leak)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dtrace"
 	"repro/internal/job"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -117,7 +119,11 @@ type Server struct {
 	// store is the durability layer (nil when Options.StateDir is empty).
 	// Its methods are called with mu held, which keeps WAL order consistent
 	// with the state mutations the records describe.
-	store   *store
+	store *store
+	// met is the server's own observability: GET /metrics serves it as
+	// Prometheus text. Always non-nil; instruments are internally
+	// synchronized and used both inside and outside s.mu.
+	met     *serverMetrics
 	started time.Time
 
 	// Graceful-shutdown state: once draining flips, new requests are refused
@@ -165,8 +171,10 @@ func NewServerWith(opts Options) (*Server, error) {
 	}
 	rec := dtrace.New()
 	rec.SetKeep(traceKeep)
+	opts = opts.withDefaults()
 	s := &Server{
-		opts:     opts.withDefaults(),
+		opts:     opts,
+		met:      newServerMetrics(opts.Clock),
 		nextID:   1,
 		jobs:     map[int]*jobState{},
 		agents:   map[string]*agentState{},
@@ -218,11 +226,20 @@ func (s *Server) Recovery() (records int, tornBytes int64, fromSnapshot bool) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	// Instrument at the choke point so every outcome — drain 503s, body-cap
+	// 413s, handler errors — is counted under a bounded path label.
+	path := normalizePath(r.URL.Path)
+	sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	t := s.met.reg.StartTimer(s.met.httpLatency.With(path))
+	defer func() {
+		t.Stop()
+		s.met.httpReqs.With(path, r.Method, strconv.Itoa(sr.code)).Inc()
+	}()
 	// Liveness probes bypass the drain gate (and the chaos delay): an
 	// orchestrator must be able to see "draining" as a distinct state, not
 	// just a refused connection.
 	if r.URL.Path == "/healthz" {
-		s.handleHealthz(w, r)
+		s.handleHealthz(sr, r)
 		return
 	}
 	// Increment-then-check: a request that sneaks past a concurrent
@@ -230,16 +247,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// counted and Shutdown waits for it. Either way nothing is dropped
 	// mid-handler.
 	if s.draining.Load() {
-		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		http.Error(sr, "server draining", http.StatusServiceUnavailable)
 		return
 	}
 	if d := s.delayMS.Load(); d > 0 {
 		time.Sleep(time.Duration(d) * time.Millisecond)
 	}
 	if s.opts.MaxBodyBytes > 0 && r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		r.Body = http.MaxBytesReader(sr, r.Body, s.opts.MaxBodyBytes)
 	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sr, r)
 }
 
 // Shutdown drains the server: new requests get 503 immediately, and the call
@@ -330,8 +347,14 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics ingests one NVIDIA-SMI-style sample.
+// handleMetrics is two endpoints sharing a path, split by method: POST
+// ingests one NVIDIA-SMI-style sample from a node agent; GET serves the
+// server's own instruments in Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		s.serveMetrics(w)
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -369,6 +392,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, js)
 }
+
+// serveMetrics renders the Prometheus scrape. Population gauges are
+// refreshed under the lock first, so each scrape is a consistent snapshot of
+// queue depth, profiled-job count and live agents.
+func (s *Server) serveMetrics(w http.ResponseWriter) {
+	s.mu.Lock()
+	s.observePopulationLocked()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", metrics.TextContentType)
+	_ = s.met.reg.WriteText(w)
+}
+
+// Metrics exposes the server's registry (for embedding servers that merge
+// instruments or tests that assert on them).
+func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
 
 // applyJobLocked installs a registered job (live submit and WAL replay share
 // this path) and recomputes its derived fields.

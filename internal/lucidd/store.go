@@ -150,9 +150,15 @@ func (s *Server) openStore(dir string) error {
 	if err != nil {
 		return err
 	}
+	wal.OnSync = func(d time.Duration) { s.met.walFsync.Observe(d.Seconds()) }
 	st.wal = wal
 	st.recovered = stats
 	s.store = st
+	s.met.recRecords.Set(float64(stats.Records))
+	s.met.recTorn.Set(float64(stats.TornBytes))
+	if st.hadSnapshot {
+		s.met.recSnap.Set(1)
+	}
 	return nil
 }
 
@@ -217,7 +223,10 @@ func (s *Server) logOpLocked(op walOp, sync bool) error {
 	if err != nil {
 		return fmt.Errorf("lucidd: encode wal op: %w", err)
 	}
-	if err := s.store.wal.Append(payload, sync); err != nil {
+	t := s.met.reg.StartTimer(s.met.walAppend)
+	err = s.store.wal.Append(payload, sync)
+	t.Stop()
+	if err != nil {
 		return err
 	}
 	if s.store.wal.Records() >= s.store.compactEvery {
@@ -236,6 +245,8 @@ func (s *Server) compactLocked() error {
 	if s.store == nil {
 		return nil
 	}
+	t := s.met.reg.StartTimer(s.met.snapshot)
+	defer t.Stop()
 	ss := serverSnap{NextID: s.nextID}
 	for _, js := range s.snapshotLocked() {
 		ss.Jobs = append(ss.Jobs, persistedJob{ID: js.ID, Name: js.Name,
@@ -268,6 +279,7 @@ func (s *Server) compactLocked() error {
 	}
 	s.store.snapTime = s.opts.Clock()
 	s.store.hadSnapshot = true
+	s.met.compacts.Inc()
 	return nil
 }
 

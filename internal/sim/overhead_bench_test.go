@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/dtrace"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -127,4 +128,19 @@ func BenchmarkPendingAfterLongRun(b *testing.B) {
 			b.Fatalf("pending = %d on a drained cluster", n)
 		}
 	}
+}
+
+// The Options.Metrics=nil hot path must likewise cost one pointer check per
+// phase: compare BenchmarkSimMetricsOff (should match BenchmarkSimTracingOff)
+// against BenchmarkSimMetricsOn (live registry, atomic histogram cells).
+func BenchmarkSimMetricsOff(b *testing.B) {
+	benchSim(b, func() sim.Options {
+		return sim.Options{Tick: 30, SchedulerEvery: 60}
+	})
+}
+
+func BenchmarkSimMetricsOn(b *testing.B) {
+	benchSim(b, func() sim.Options {
+		return sim.Options{Tick: 30, SchedulerEvery: 60, Metrics: metrics.New()}
+	})
 }

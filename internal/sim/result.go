@@ -134,22 +134,28 @@ func (r *Result) GoodputPct() float64 {
 	return pct
 }
 
-// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs by nearest-rank on a
-// sorted copy. Returns 0 for empty input.
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs by ceil-based
+// nearest-rank on a sorted copy: the smallest value with at least p·n of the
+// sample at or below it. Returns 0 for empty input.
+//
+// The previous truncating index, int(p·(n−1)), rounded the rank DOWN — on
+// fewer than 1000 samples P999QueueSec silently degraded to ~p99 or lower
+// (100 samples: index 98.9 → 98, the 99th-smallest value instead of the
+// maximum the tail percentile must report).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	idx := int(p * float64(len(sorted)-1))
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(p * float64(len(sorted)))) // 1-based nearest rank
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return sorted[idx]
+	return sorted[rank-1]
 }
 
 // JCTs returns finished jobs' completion times in seconds (for CDFs).

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dtrace"
 	"repro/internal/job"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -70,6 +71,13 @@ type Options struct {
 	// engine then pays only a nil check. Injectors hold per-run mutable
 	// state — give every run its own.
 	Chaos *chaos.Injector
+
+	// Metrics records per-tick phase timings and scheduler-decision latency
+	// histograms on the given registry (see metrics.go in this package). Nil
+	// (the default) disables recording; the engine then pays only nil
+	// checks. Timings are observational only — they never alter simulation
+	// state, so decision-trace digests are identical with metrics on or off.
+	Metrics *metrics.Registry
 }
 
 func (o Options) normalized(traceDays int) Options {
@@ -149,6 +157,10 @@ type Sim struct {
 	jobKills     int
 	requeues     int
 	exhausted    int
+
+	// met holds the pre-resolved engine instruments (Options.Metrics; see
+	// metrics.go). Nil when metrics are off.
+	met *simMetrics
 }
 
 // New prepares a run of the scheduler over the trace.
@@ -165,6 +177,7 @@ func New(tr *trace.Trace, sched Scheduler, opts Options) *Sim {
 		byID:         make(map[int]*job.Job),
 		profileStart: make(map[int]int64),
 		genSpeed:     make(map[int]float64),
+		met:          newSimMetrics(opts.Metrics),
 	}
 	if opts.ProfilerNodes > 0 {
 		s.profiler = cluster.New(cluster.Spec{
@@ -211,14 +224,27 @@ func (s *Sim) live() bool {
 // continues with the identical decision sequence an uninterrupted run would
 // have produced.
 func (s *Sim) stepTick(env *Env) {
+	m := s.met
 	s.now += s.opts.Tick
+
+	t := m.time(timeAdvance)
 	s.advance(float64(s.opts.Tick))
+	t.Stop()
+
+	t = m.time(timeChaos)
 	s.applyChaos()
+	t.Stop()
 
 	arrived := s.admitArrivals()
 	if arrived || s.now-s.lastSched >= s.opts.SchedulerEvery || s.dirty {
 		s.dirty = false
+		t = m.time(timeDecide)
 		s.sched.Tick(env)
+		t.Stop()
+		if m != nil {
+			m.schedRuns.Inc()
+			s.observeSchedState()
+		}
 		s.lastSched = s.now
 		// Unconsumed annotations would mislabel a later, unrelated
 		// event; a scheduler round's explanations die with the round.
@@ -226,7 +252,13 @@ func (s *Sim) stepTick(env *Env) {
 			clear(s.pendAnn)
 		}
 	}
+
+	t = m.time(timeSpeeds)
 	s.recomputeSpeeds()
+	t.Stop()
+	if m != nil {
+		m.ticks.Inc()
+	}
 	s.checkInvariants()
 
 	if s.now-s.lastSample >= s.opts.SampleEvery {
@@ -396,8 +428,17 @@ func (s *Sim) sample() {
 	if util > maxUtil {
 		util = maxUtil
 	}
+	// Clamp memory like utilization: packed jobs that were placed unprofiled
+	// bypass the allocator's memory guard (it reserves 0 for them), so their
+	// true profile footprints can sum past physical capacity. The hardware
+	// cannot hold more than 100% — without the clamp AvgGPUMemPct drifts
+	// above it under packing-heavy schedules.
+	maxMem := total * workload.GPUMemMBCap
+	if mem > maxMem {
+		mem = maxMem
+	}
 	s.utilSum += util / maxUtil * 100
-	s.memSum += mem / (total * workload.GPUMemMBCap) * 100
+	s.memSum += mem / maxMem * 100
 	_, shared := s.main.Occupancy()
 	s.sharedGPUSum += float64(shared)
 	s.utilSamples++
@@ -415,7 +456,13 @@ func (s *Sim) StepOnce() {
 	s.advance(float64(s.opts.Tick))
 	s.applyChaos()
 	s.admitArrivals()
+	t := s.met.time(timeDecide)
 	s.sched.Tick(env)
+	t.Stop()
+	if s.met != nil {
+		s.met.schedRuns.Inc()
+		s.observeSchedState()
+	}
 	s.lastSched = s.now
 	if len(s.pendAnn) > 0 {
 		clear(s.pendAnn)
@@ -490,8 +537,8 @@ func (e *Env) StartExclusive(j *job.Job) bool {
 // StartExclusivePrefer is StartExclusive with a GPU-generation preference —
 // the §6 heterogeneity-aware placement extension.
 func (e *Env) StartExclusivePrefer(j *job.Job, pref cluster.Preference) bool {
-	if j.State == job.Running || j.State == job.Finished {
-		e.s.trace(dtrace.ActPlaceFail, j, "already-placed", 0)
+	if reason, bad := unplaceable(j); bad {
+		e.s.trace(dtrace.ActPlaceFail, j, reason, 0)
 		return false
 	}
 	mem := 0.0
@@ -508,6 +555,24 @@ func (e *Env) StartExclusivePrefer(j *job.Job, pref cluster.Preference) bool {
 	e.s.record(EvStart, j.ID, j.GPUs, j.VC)
 	e.s.trace(dtrace.ActPlace, j, placeReason(pref), 0)
 	return true
+}
+
+// unplaceable rejects every state a placement request must not act on: only
+// Pending and Queued jobs may be (re)started on the main cluster. The guard
+// previously checked Running||Finished alone, which let a buggy scheduler
+// resurrect a terminal Failed job — its retries were exhausted for good — or
+// double-place a job currently on the profiling cluster, corrupting both
+// clusters' accounting.
+func unplaceable(j *job.Job) (string, bool) {
+	switch {
+	case j.State == job.Running:
+		return "already-placed", true
+	case j.State.Terminal():
+		return "terminal-state", true
+	case j.State == job.Profiling:
+		return "still-profiling", true
+	}
+	return "", false
 }
 
 // placeReason labels an exclusive placement with its generation
@@ -548,8 +613,8 @@ func (s *Sim) recordGenSpeed(jobID int, gpus []cluster.GPUID) {
 // for policy (GSS budgets, equal demand, …); the cluster enforces only the
 // two-job cap and the memory guard.
 func (e *Env) StartShared(j, partner *job.Job) bool {
-	if j.State == job.Running || j.State == job.Finished {
-		e.s.trace(dtrace.ActPackReject, j, "already-placed", partner.ID)
+	if reason, bad := unplaceable(j); bad {
+		e.s.trace(dtrace.ActPackReject, j, reason, partner.ID)
 		return false
 	}
 	if partner.State != job.Running {

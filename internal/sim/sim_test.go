@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/dtrace"
 	"repro/internal/job"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -452,5 +453,132 @@ func TestTraceReusableAcrossRuns(t *testing.T) {
 		if j.State != job.Pending || j.Finish != -1 {
 			t.Fatal("original trace jobs mutated")
 		}
+	}
+}
+
+// TestPercentileCeilNearestRank pins the ceil-based nearest-rank definition
+// on 100 known values. Regression: the old truncating index int(p·(n−1))
+// rounded the rank down, so p99.9 of a 100-sample distribution returned the
+// 99th-smallest value instead of the maximum — tail-latency reports
+// (P999QueueSec, Fig. 8) silently understated the worst case on any run
+// with fewer than 1000 finished jobs.
+func TestPercentileCeilNearestRank(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(100 - i) // reversed; Percentile sorts its own copy
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1},
+		{0.001, 1},
+		{0.01, 1},
+		{0.25, 25},
+		{0.5, 50},
+		{0.9, 90},
+		{0.99, 99},
+		{0.999, 100}, // the regression: truncation gave 99
+		{1, 100},
+	} {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(1..100, %v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 0.999); got != 7 {
+		t.Errorf("single-sample p99.9 = %v, want 7", got)
+	}
+}
+
+// packUnprofiledSched packs job 2 onto job 1 WITHOUT ObserveOnTheFly: the
+// allocator's memory guard sees a 0 MB reservation for both, so their true
+// profile footprints can sum past physical GPU memory.
+type packUnprofiledSched struct{}
+
+func (packUnprofiledSched) Name() string { return "test-pack-unprofiled" }
+func (packUnprofiledSched) Tick(env *Env) {
+	pend := env.Pending()
+	for _, j := range pend {
+		if j.ID == 1 {
+			env.StartExclusive(j)
+		}
+	}
+	running := env.Running()
+	for _, j := range pend {
+		if j.ID == 2 && len(running) > 0 {
+			env.StartShared(j, running[0])
+		}
+	}
+}
+
+// TestSampleMemoryCappedUnderPacking is the sample() clamp regression: two
+// unprofiled BERT jobs packed across the whole cluster have a combined
+// footprint of ~25.6 GB per 24 GB GPU, so before the clamp AvgGPUMemPct
+// reported >106% — hardware that does not exist.
+func TestSampleMemoryCappedUnderPacking(t *testing.T) {
+	cfg := workload.Config{Model: workload.BERT, BatchSize: 32}
+	combined := 2 * cfg.Profile().GPUMemMB
+	if combined <= workload.GPUMemMBCap {
+		t.Fatalf("scenario broken: combined footprint %v fits in %v", combined, workload.GPUMemMBCap)
+	}
+	j1 := job.New(1, "a", "u", "vc", 8, 0, 2000, cfg)
+	j2 := job.New(2, "b", "u", "vc", 8, 0, 2000, cfg)
+	res := New(mkTrace(j1, j2), packUnprofiledSched{}, Options{Tick: 10, SampleEvery: 10}).Run()
+	if res.SharedStarts == 0 {
+		t.Fatal("scenario broken: nothing was packed")
+	}
+	if res.AvgGPUMemPct > 100 {
+		t.Fatalf("AvgGPUMemPct = %v, must be clamped to 100", res.AvgGPUMemPct)
+	}
+	if res.AvgGPUMemPct < 90 {
+		t.Fatalf("AvgGPUMemPct = %v: packed phase did not dominate, scenario no longer exercises the overflow", res.AvgGPUMemPct)
+	}
+}
+
+// TestPlacementGuardsRejectIneligibleStates pins the unplaceable() guard:
+// placement APIs must refuse Failed (terminal — retries exhausted for good)
+// and Profiling (currently occupying the profiling cluster) jobs, and must
+// say why in the decision trace. The old guard only checked
+// Running||Finished, so a buggy scheduler could resurrect a Failed job or
+// double-place a profiling one, corrupting both clusters' accounting.
+func TestPlacementGuardsRejectIneligibleStates(t *testing.T) {
+	rec := dtrace.New()
+	jFail := mkJob(1, 2, 0, 100)
+	jProf := mkJob(2, 2, 0, 100)
+	partner := mkJob(3, 2, 0, 1000)
+	s := New(mkTrace(jFail, jProf, partner), fifoLike{}, Options{Tick: 10, DecisionTrace: rec})
+	env := &Env{s: s}
+	// New() clones trace jobs; act on the clones.
+	jFail, jProf, partner = s.jobs[0], s.jobs[1], s.jobs[2]
+
+	if !env.StartExclusive(partner) {
+		t.Fatal("scenario broken: partner did not place")
+	}
+	jFail.State = job.Failed
+	jProf.State = job.Profiling
+	for _, tc := range []struct {
+		name   string
+		place  bool
+		reason string
+	}{
+		{"exclusive-failed", env.StartExclusivePrefer(jFail, cluster.PreferAny), "terminal-state"},
+		{"shared-failed", env.StartShared(jFail, partner), "terminal-state"},
+		{"exclusive-profiling", env.StartExclusivePrefer(jProf, cluster.PreferAny), "still-profiling"},
+		{"shared-profiling", env.StartShared(jProf, partner), "still-profiling"},
+	} {
+		if tc.place {
+			t.Fatalf("%s: placement succeeded on an ineligible job", tc.name)
+		}
+		found := false
+		for _, ev := range rec.Events() {
+			if ev.Reason == tc.reason &&
+				(ev.Action == dtrace.ActPlaceFail || ev.Action == dtrace.ActPackReject) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no trace event with reason %q", tc.name, tc.reason)
+		}
+	}
+	if jFail.State != job.Failed || jProf.State != job.Profiling {
+		t.Fatal("rejected placements mutated job state")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 )
 
 // WAL record framing (little-endian):
@@ -79,9 +80,14 @@ type WAL struct {
 	f         *os.File
 	path      string
 	SyncEvery int // batched-fsync threshold for Append(sync=false); 0 = every append
-	unsynced  int
-	records   int64
-	bytes     int64
+	// OnSync, when set, observes the wall-clock duration of each fsync —
+	// an instrumentation hook (fsync latency is the WAL's dominant cost and
+	// the first thing to watch on a struggling disk). Must not call back
+	// into the WAL.
+	OnSync   func(d time.Duration)
+	unsynced int
+	records  int64
+	bytes    int64
 }
 
 // RecoverStats describes what OpenWAL found on disk.
@@ -167,8 +173,15 @@ func (w *WAL) Sync() error {
 	if w.unsynced == 0 {
 		return nil
 	}
+	start := time.Time{}
+	if w.OnSync != nil {
+		start = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("snap: wal sync: %w", err)
+	}
+	if w.OnSync != nil {
+		w.OnSync(time.Since(start))
 	}
 	w.unsynced = 0
 	return nil
