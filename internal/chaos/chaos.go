@@ -378,6 +378,81 @@ func (inj *Injector) NodeCrashes(now, dt int64) []int {
 	return out
 }
 
+// Read-only peeks for the event engine (internal/sim's discrete-event mode):
+// it scans the deterministic fault schedule ahead of the clock to find the
+// next tick it must execute. Peeks must not mutate injector state — at the
+// fire tick the regular sampling methods run and draw the same hashes.
+
+// MinDownUntil returns the earliest repair-completion time among down nodes.
+func (inj *Injector) MinDownUntil() (int64, bool) {
+	if len(inj.downUntil) == 0 {
+		return 0, false
+	}
+	first := true
+	var min int64
+	for _, until := range inj.downUntil {
+		if first || until < min {
+			min = until
+			first = false
+		}
+	}
+	return min, true
+}
+
+// AnyNodeCrash reports whether NodeCrashes(now, dt) would return a non-empty
+// set, without marking anything down.
+func (inj *Injector) AnyNodeCrash(now, dt int64) bool {
+	if inj.spec.NodeFailPerDay <= 0 || inj.numNodes == 0 {
+		return false
+	}
+	p := prob(inj.spec.NodeFailPerDay, dt)
+	for n := 0; n < inj.numNodes; n++ {
+		if _, down := inj.downUntil[n]; down {
+			continue
+		}
+		if inj.roll(kindNodeFail, n, now) < p {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyGPUFailure reports whether GPUFailures(now, dt) would return a fault
+// the caller considers observable (resident jobs on an up node — idle-GPU
+// faults have no effect and must not wake the engine).
+func (inj *Injector) AnyGPUFailure(now, dt int64, observable func(cluster.GPUID) bool) bool {
+	if inj.spec.GPUFailPerDay <= 0 || inj.numNodes == 0 || inj.perNode == 0 {
+		return false
+	}
+	p := prob(inj.spec.GPUFailPerDay, dt)
+	for n := 0; n < inj.numNodes; n++ {
+		if _, down := inj.downUntil[n]; down {
+			continue
+		}
+		for i := 0; i < inj.perNode; i++ {
+			if inj.roll(kindGPUFail, n*inj.perNode+i, now) < p &&
+				observable(cluster.GPUID{Node: n, Index: i}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AnyJobCrash reports whether JobCrashes(now, dt, ids) would be non-empty.
+func (inj *Injector) AnyJobCrash(now, dt int64, ids []int) bool {
+	if inj.spec.JobCrashPerDay <= 0 || len(ids) == 0 {
+		return false
+	}
+	p := prob(inj.spec.JobCrashPerDay, dt)
+	for _, id := range ids {
+		if inj.roll(kindJobCrash, id, now) < p {
+			return true
+		}
+	}
+	return false
+}
+
 // NodeIsDown reports the injector's view of a node's health (used to skip
 // GPU faults on already-dead nodes).
 func (inj *Injector) NodeIsDown(node int) bool {

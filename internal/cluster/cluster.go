@@ -61,6 +61,11 @@ type node struct {
 	speed float64 // GPU-generation speed factor (1.0 = baseline)
 	down  bool    // crashed: capacity revoked until repaired
 	gpus  []gpu
+	// free is the count of completely idle GPUs, maintained incrementally
+	// by commit/Free so placement never rescans the per-GPU job lists. It
+	// tracks idleness regardless of down status; freeCount applies the
+	// down mask.
+	free int
 }
 
 // freeCount returns 0 for a down node, which is what keeps every placement
@@ -70,13 +75,7 @@ func (n *node) freeCount() int {
 	if n.down {
 		return 0
 	}
-	c := 0
-	for i := range n.gpus {
-		if len(n.gpus[i].jobs) == 0 {
-			c++
-		}
-	}
-	return c
+	return n.free
 }
 
 // Cluster is the mutable allocation state.
@@ -86,6 +85,9 @@ type Cluster struct {
 	vcNodes map[string][]*node
 	jobGPUs map[int][]GPUID
 	jobMem  map[int]float64 // per-GPU memory reserved by the job
+	// vcFree counts idle GPUs on *up* nodes per VC, so FreeGPUs is O(1)
+	// instead of a node scan (elastic schedulers call it per pending job).
+	vcFree map[string]int
 
 	maxShare int
 }
@@ -104,6 +106,7 @@ func New(spec Spec) *Cluster {
 		vcNodes:  make(map[string][]*node),
 		jobGPUs:  make(map[int][]GPUID),
 		jobMem:   make(map[int]float64),
+		vcFree:   make(map[string]int),
 		maxShare: 2,
 	}
 	id := 0
@@ -114,9 +117,11 @@ func New(spec Spec) *Cluster {
 			if k < fast && spec.FastSpeed > 0 {
 				speed = spec.FastSpeed
 			}
-			n := &node{id: id, vc: vc.Name, speed: speed, gpus: make([]gpu, spec.GPUsPerNode)}
+			n := &node{id: id, vc: vc.Name, speed: speed,
+				gpus: make([]gpu, spec.GPUsPerNode), free: spec.GPUsPerNode}
 			c.nodes = append(c.nodes, n)
 			c.vcNodes[vc.Name] = append(c.vcNodes[vc.Name], n)
+			c.vcFree[vc.Name] += spec.GPUsPerNode
 			id++
 		}
 	}
@@ -148,13 +153,16 @@ func (c *Cluster) VCNames() []string {
 }
 
 // FreeGPUs returns the number of completely idle GPUs in the VC ("" = whole
-// cluster).
+// cluster). O(1) from the incrementally maintained per-VC index.
 func (c *Cluster) FreeGPUs(vc string) int {
-	n := 0
-	for _, nd := range c.nodesOf(vc) {
-		n += nd.freeCount()
+	if vc == "" {
+		n := 0
+		for _, v := range c.spec.VCs {
+			n += c.vcFree[v.Name]
+		}
+		return n
 	}
-	return n
+	return c.vcFree[vc]
 }
 
 func (c *Cluster) nodesOf(vc string) []*node {
@@ -313,7 +321,14 @@ func takeFree(nd *node, n int) []GPUID {
 
 func (c *Cluster) commit(jobID int, plan []GPUID, memPerGPU float64) {
 	for _, g := range plan {
-		st := &c.nodes[g.Node].gpus[g.Index]
+		nd := c.nodes[g.Node]
+		st := &nd.gpus[g.Index]
+		if len(st.jobs) == 0 {
+			nd.free--
+			if !nd.down {
+				c.vcFree[nd.vc]--
+			}
+		}
 		st.jobs = append(st.jobs, jobID)
 		st.memUsed += memPerGPU
 	}
@@ -363,7 +378,8 @@ func (c *Cluster) Free(jobID int) {
 	}
 	mem := c.jobMem[jobID]
 	for _, g := range gpus {
-		st := &c.nodes[g.Node].gpus[g.Index]
+		nd := c.nodes[g.Node]
+		st := &nd.gpus[g.Index]
 		st.memUsed -= mem
 		if st.memUsed < 0 {
 			st.memUsed = 0
@@ -372,6 +388,12 @@ func (c *Cluster) Free(jobID int) {
 			if id == jobID {
 				st.jobs = append(st.jobs[:i], st.jobs[i+1:]...)
 				break
+			}
+		}
+		if len(st.jobs) == 0 {
+			nd.free++
+			if !nd.down {
+				c.vcFree[nd.vc]++
 			}
 		}
 	}
@@ -429,7 +451,21 @@ func (c *Cluster) Occupancy() (single, shared int) {
 func (c *Cluster) Audit() []string {
 	var out []string
 	held := map[int]int{} // job → GPUs referencing it in per-GPU lists
+	upFree := map[string]int{}
 	for _, nd := range c.nodes {
+		idle := 0
+		for i := range nd.gpus {
+			if len(nd.gpus[i].jobs) == 0 {
+				idle++
+			}
+		}
+		if idle != nd.free {
+			out = append(out, fmt.Sprintf(
+				"node %d free index %d disagrees with %d actually idle GPUs", nd.id, nd.free, idle))
+		}
+		if !nd.down {
+			upFree[nd.vc] += idle
+		}
 		for i := range nd.gpus {
 			st := &nd.gpus[i]
 			if nd.down && len(st.jobs) > 0 {
@@ -481,6 +517,13 @@ func (c *Cluster) Audit() []string {
 			if !found {
 				out = append(out, fmt.Sprintf("job %d claims GPU %v which does not host it", id, g))
 			}
+		}
+	}
+	for _, vc := range c.spec.VCs {
+		if c.vcFree[vc.Name] != upFree[vc.Name] {
+			out = append(out, fmt.Sprintf(
+				"vc %q free index %d disagrees with %d actually idle up-node GPUs",
+				vc.Name, c.vcFree[vc.Name], upFree[vc.Name]))
 		}
 	}
 	return out
@@ -550,7 +593,11 @@ func (c *Cluster) FailNode(nodeID int) []int {
 		return nil
 	}
 	victims := c.JobsOn(nodeID)
-	c.nodes[nodeID].down = true
+	nd := c.nodes[nodeID]
+	if !nd.down {
+		nd.down = true
+		c.vcFree[nd.vc] -= nd.free
+	}
 	return victims
 }
 
@@ -560,7 +607,34 @@ func (c *Cluster) RepairNode(nodeID int) {
 	if nodeID < 0 || nodeID >= len(c.nodes) {
 		return
 	}
-	c.nodes[nodeID].down = false
+	nd := c.nodes[nodeID]
+	if nd.down {
+		nd.down = false
+		c.vcFree[nd.vc] += nd.free
+	}
+}
+
+// rebuildFreeIndex recomputes the per-node and per-VC idle-GPU counters from
+// the ground-truth per-GPU job lists. The counters are maintained
+// incrementally on every allocation path; this full rebuild exists for bulk
+// state overwrites (snapshot Restore), where recomputing is simpler and
+// cheaper than replaying the deltas.
+func (c *Cluster) rebuildFreeIndex() {
+	for vc := range c.vcFree {
+		c.vcFree[vc] = 0
+	}
+	for _, nd := range c.nodes {
+		idle := 0
+		for i := range nd.gpus {
+			if len(nd.gpus[i].jobs) == 0 {
+				idle++
+			}
+		}
+		nd.free = idle
+		if !nd.down {
+			c.vcFree[nd.vc] += idle
+		}
+	}
 }
 
 // UniformSpec is a convenience constructor: nodes evenly split across

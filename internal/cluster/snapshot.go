@@ -83,6 +83,7 @@ func (c *Cluster) Restore(st SnapState) error {
 	for id, m := range st.JobMem {
 		c.jobMem[id] = m
 	}
+	c.rebuildFreeIndex()
 	if bad := c.Audit(); len(bad) > 0 {
 		return fmt.Errorf("cluster: restored state fails audit: %s", bad[0])
 	}

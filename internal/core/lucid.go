@@ -177,6 +177,42 @@ func (l *Lucid) Profiler() *Profiler { return l.profiler }
 // since construction (tests; snapshots embed the model bundle only then).
 func (l *Lucid) ModelsRefit() bool { return l.modelsDirty }
 
+// NextWake implements sim.EventAware: the earliest time-driven decision in
+// the Figure 4 workflow. Lucid's time dependencies are all explicit clocks:
+//
+//   - hourly maintenance (throughput observation, tuner retune, pack-mode
+//     selection) fires when the hour counter advances;
+//   - the profiler evicts each profiling job when its run reaches the
+//     current Tprof;
+//   - the Update Engine refits UpdateIntervalSec after its last attempt.
+//
+// Everything else reacts to queue/cluster changes, which wake the engine on
+// their own. The binder's time-aware packing rule (partner remaining time
+// below MinRemainSec) only *removes* pack options as runtime accrues, and
+// the fairness-aging priority only *reorders* a queue that the greedy
+// orchestrator replays in full each round — neither can turn an idle round
+// into an acting one, so neither needs a wake-up.
+func (l *Lucid) NextWake(env *sim.Env) int64 {
+	now := env.Now()
+	next := (l.curHour + 1) * 3600
+	consider := func(at int64) {
+		if at > now && at < next {
+			next = at
+		}
+	}
+	if l.cfg.UpdateIntervalSec > 0 {
+		consider(l.lastUpdate + l.cfg.UpdateIntervalSec)
+	}
+	tprof := l.profiler.CurrentTprof()
+	for _, j := range env.Profiling() {
+		consider(now + tprof - env.ProfilingElapsed(j))
+	}
+	if next <= now { // hour boundary already due: poll at the next round
+		return now
+	}
+	return next
+}
+
 // Tick implements the full Figure 4 workflow.
 func (l *Lucid) Tick(env *sim.Env) {
 	l.observeArrivals(env)

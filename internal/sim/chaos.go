@@ -135,6 +135,7 @@ func (s *Sim) killJob(j *job.Job, cause string) {
 		j.State = job.Failed
 		j.RemainingWork = 0
 		j.ColdStart = 0
+		s.win.remove(s.idxOf[j.ID])
 		s.exhausted++
 		s.finished++ // terminal: leaves the system, like Finished
 		s.trace(dtrace.ActExhaust, j, cause, 0)
@@ -156,6 +157,7 @@ func (s *Sim) killJob(j *job.Job, cause string) {
 		j.State = job.Pending
 	}
 	j.NextEligible = s.now + spec.Backoff(j.Restarts)
+	s.pushBackoff(j)
 	s.requeues++
 }
 

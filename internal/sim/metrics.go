@@ -97,8 +97,8 @@ func (s *Sim) observeSchedState() {
 		return
 	}
 	depth := 0
-	for _, j := range s.jobs[s.pendLow:s.arriveIdx] {
-		if j.State == job.Pending || j.State == job.Queued {
+	for i := s.win.head; i >= 0; i = s.win.next[i] {
+		if st := s.jobs[i].State; st == job.Pending || st == job.Queued {
 			depth++
 		}
 	}

@@ -42,6 +42,14 @@ type Scheduler interface {
 
 // Options tunes the engine.
 type Options struct {
+	// Engine selects the advancement strategy. EngineTick (the default)
+	// steps every fixed tick; EngineEvent jumps the clock between wake-up
+	// events (arrivals, predicted completions, backoff expiries, chaos
+	// fires, cadence and sampling timers) and replays the skipped ticks'
+	// arithmetic in closed form, reproducing tick-engine results
+	// bit-identically (see engine.go).
+	Engine EngineKind
+
 	Tick           int64 // seconds per step (default 30)
 	SchedulerEvery int64 // max seconds between scheduler invocations (default 300)
 	SampleEvery    int64 // utilization sampling period (default 600)
@@ -112,7 +120,9 @@ type Sim struct {
 
 	now        int64
 	arriveIdx  int
-	pendLow    int              // jobs[:pendLow] are all Finished (Pending scan skip)
+	win        *liveWindow      // submitted non-terminal jobs (Pending scan window)
+	idxOf      map[int]int      // job ID → index in jobs (window maintenance)
+	backoff    evheap           // requeue-backoff expiry ticks (chaos wake-ups)
 	running    map[int]*job.Job // on the main cluster
 	profiling  map[int]*job.Job // on the profiling cluster
 	speeds     map[int]float64
@@ -161,6 +171,15 @@ type Sim struct {
 	// met holds the pre-resolved engine instruments (Options.Metrics; see
 	// metrics.go). Nil when metrics are off.
 	met *simMetrics
+
+	// Event-engine state (Options.Engine == EngineEvent; see engine.go):
+	// predicted completion ticks, their validity bookkeeping, and a
+	// placement-generation counter bumped on every (re)start so stale
+	// predictions are recognized even across same-tick kill-and-restart.
+	completions evheap
+	preds       map[int]predInfo
+	jobGen      map[int]uint64
+	predSeq     uint64
 }
 
 // New prepares a run of the scheduler over the trace.
@@ -178,6 +197,8 @@ func New(tr *trace.Trace, sched Scheduler, opts Options) *Sim {
 		profileStart: make(map[int]int64),
 		genSpeed:     make(map[int]float64),
 		met:          newSimMetrics(opts.Metrics),
+		preds:        make(map[int]predInfo),
+		jobGen:       make(map[int]uint64),
 	}
 	if opts.ProfilerNodes > 0 {
 		s.profiler = cluster.New(cluster.Spec{
@@ -189,7 +210,10 @@ func New(tr *trace.Trace, sched Scheduler, opts Options) *Sim {
 	// Fresh runtime state per run: clone the jobs so a trace can be replayed
 	// under several schedulers.
 	s.jobs = make([]*job.Job, len(tr.Jobs))
+	s.win = newLiveWindow(len(tr.Jobs))
+	s.idxOf = make(map[int]int, len(tr.Jobs))
 	for i, j := range tr.Jobs {
+		s.idxOf[j.ID] = i
 		cp := *j
 		cp.State = job.Pending
 		cp.RemainingWork = float64(j.Duration)
@@ -222,8 +246,9 @@ func (s *Sim) live() bool {
 // stepTick executes exactly one tick of the engine loop. Run, RunUntil and
 // a resumed run all drive this same body, so a snapshot taken between ticks
 // continues with the identical decision sequence an uninterrupted run would
-// have produced.
-func (s *Sim) stepTick(env *Env) {
+// have produced. force bypasses the scheduler gate (StepOnce's semantics:
+// benchmark callers time exactly one decision, so one must happen).
+func (s *Sim) stepTick(env *Env, force bool) {
 	m := s.met
 	s.now += s.opts.Tick
 
@@ -236,7 +261,13 @@ func (s *Sim) stepTick(env *Env) {
 	t.Stop()
 
 	arrived := s.admitArrivals()
-	if arrived || s.now-s.lastSched >= s.opts.SchedulerEvery || s.dirty {
+	// A requeue backoff expiring counts as an arrival: the job just became
+	// schedulable, so the scheduler must run now, not at the next cadence
+	// boundary with the capacity sitting idle.
+	if s.drainBackoff() {
+		arrived = true
+	}
+	if force || arrived || s.now-s.lastSched >= s.opts.SchedulerEvery || s.dirty {
 		s.dirty = false
 		t = m.time(timeDecide)
 		s.sched.Tick(env)
@@ -270,9 +301,12 @@ func (s *Sim) stepTick(env *Env) {
 // Run executes the simulation to completion (all jobs finished) or the
 // horizon, returning aggregate metrics.
 func (s *Sim) Run() *Result {
+	if s.opts.Engine == EngineEvent {
+		return s.runEvent()
+	}
 	env := &Env{s: s}
 	for s.live() {
-		s.stepTick(env)
+		s.stepTick(env, false)
 	}
 	return s.collect()
 }
@@ -282,9 +316,12 @@ func (s *Sim) Run() *Result {
 // engine at a tick boundary — the consistent point Snapshot serializes —
 // after which Run picks up exactly where an uninterrupted run would be.
 func (s *Sim) RunUntil(t int64) bool {
+	if s.opts.Engine == EngineEvent {
+		return s.runEventUntil(t)
+	}
 	env := &Env{s: s}
 	for s.live() && s.now < t {
-		s.stepTick(env)
+		s.stepTick(env, false)
 	}
 	return !s.live()
 }
@@ -351,6 +388,7 @@ func (s *Sim) advanceSet(set map[int]*job.Job, cl *cluster.Cluster, dt float64) 
 		delete(s.elastic, j.ID)
 		delete(s.genSpeed, j.ID)
 		j.State = job.Finished
+		s.win.remove(s.idxOf[j.ID])
 		s.record(EvFinish, j.ID, j.GPUs, j.VC)
 		s.trace(dtrace.ActRetire, j, retireReason, 0)
 		s.finished++
@@ -364,10 +402,44 @@ func (s *Sim) admitArrivals() bool {
 	for s.arriveIdx < len(s.jobs) && s.jobs[s.arriveIdx].Submit <= s.now {
 		// State stays Pending; schedulers decide what Pending means.
 		s.trace(dtrace.ActRelease, s.jobs[s.arriveIdx], "submitted", 0)
+		s.win.push(s.arriveIdx)
 		s.arriveIdx++
 		any = true
 	}
 	return any
+}
+
+// pushBackoff registers a future wake-up at the first tick on which the
+// job's requeue backoff will have elapsed. Without it, a job whose
+// NextEligible expires between scheduler rounds sits invisible-but-eligible
+// until the next cadence boundary even with free capacity (the satellite-2
+// bug); with it, expiry gates a scheduler round exactly like an arrival.
+func (s *Sim) pushBackoff(j *job.Job) {
+	at := firstTickGE(j.NextEligible, s.opts.Tick)
+	s.backoff.push(tickEvent{at: at, id: j.ID})
+}
+
+// firstTickGE returns the first multiple of tick at or after t.
+func firstTickGE(t, tick int64) int64 {
+	return (t + tick - 1) / tick * tick
+}
+
+// drainBackoff pops every backoff entry due by now and reports whether any
+// of them woke a job that is actually schedulable (stale entries — the job
+// re-ran and died again, or turned terminal — are discarded).
+func (s *Sim) drainBackoff() bool {
+	woke := false
+	for {
+		top, ok := s.backoff.peek()
+		if !ok || top.at > s.now {
+			return woke
+		}
+		s.backoff.pop()
+		j := s.byID[top.id]
+		if (j.State == job.Pending || j.State == job.Queued) && j.NextEligible <= s.now {
+			woke = true
+		}
+	}
 }
 
 // recomputeSpeeds refreshes execution speed for every main-cluster job from
@@ -447,28 +519,19 @@ func (s *Sim) sample() {
 // Now returns the simulation clock (exposed for white-box tests).
 func (s *Sim) Now() int64 { return s.now }
 
+// Jobs exposes the simulation's job set (shared, not a copy) so parity
+// tooling and tests can inspect mid-run state between RunUntil calls.
+// Callers must treat it as read-only.
+func (s *Sim) Jobs() []*job.Job { return s.jobs }
+
 // StepOnce advances exactly one tick, invoking the scheduler once — used by
 // the Figure 10a latency benchmark to time a single scheduling decision
-// over a controlled queue.
+// over a controlled queue. It delegates to the real engine body with the
+// scheduler gate forced open; a hand-rolled copy here had drifted (it never
+// cleared dirty, skipped the ticks metric and the sampling cadence), so
+// snapshots taken after it diverged from a genuine run.
 func (s *Sim) StepOnce() {
-	env := &Env{s: s}
-	s.now += s.opts.Tick
-	s.advance(float64(s.opts.Tick))
-	s.applyChaos()
-	s.admitArrivals()
-	t := s.met.time(timeDecide)
-	s.sched.Tick(env)
-	t.Stop()
-	if s.met != nil {
-		s.met.schedRuns.Inc()
-		s.observeSchedState()
-	}
-	s.lastSched = s.now
-	if len(s.pendAnn) > 0 {
-		clear(s.pendAnn)
-	}
-	s.recomputeSpeeds()
-	s.checkInvariants()
+	s.stepTick(&Env{s: s}, true)
 }
 
 // Env is the scheduler's handle on the simulation.
@@ -479,20 +542,29 @@ type Env struct {
 // Now returns the simulation time in seconds.
 func (e *Env) Now() int64 { return e.s.now }
 
+// LastSchedulerRun returns the time of the most recent scheduler round
+// (including no-op cadence rounds the event engine certified and elided).
+// EventAware implementations use it to decide whether a past decision time
+// is still pending: a time-gated action (a preemption quantum expiring, a
+// starvation promotion crossing) stays due until a round has run at or after
+// it — the simulation clock passing it is not enough, because between two
+// cadence points the clock can advance on unrelated wake-ups (sampling,
+// arrivals in other VCs) without the scheduler ever acting.
+func (e *Env) LastSchedulerRun() int64 { return e.s.lastSched }
+
 // Pending returns submitted jobs not yet running or finished, in
 // (submit, id) order. It includes both Pending (never profiled) and Queued
 // (profiled, awaiting the main cluster) jobs; schedulers distinguish by
 // State.
 func (e *Env) Pending() []*job.Job {
 	s := e.s
-	// Compact the scan window: Finished/Failed are terminal, so a terminal
-	// prefix never needs rescanning. Without this, every scheduler call late
-	// in a long trace is O(total jobs) even when the live window is tiny.
-	for s.pendLow < s.arriveIdx && s.jobs[s.pendLow].State.Terminal() {
-		s.pendLow++
-	}
+	// The live window holds exactly the submitted non-terminal jobs in
+	// submit order (see window.go), so this scan is O(live jobs) no matter
+	// how out-of-order completions land — the old terminal-prefix cursor
+	// stalled on the first long-running job and degraded to O(total jobs).
 	var out []*job.Job
-	for _, j := range s.jobs[s.pendLow:s.arriveIdx] {
+	for i := s.win.head; i >= 0; i = s.win.next[i] {
+		j := s.jobs[i]
 		// NextEligible hides fault-killed jobs until their requeue backoff
 		// elapses (always 0 without chaos).
 		if (j.State == job.Pending || j.State == job.Queued) && j.NextEligible <= s.now {
@@ -649,6 +721,7 @@ func (s *Sim) startOn(j *job.Job, set map[int]*job.Job) {
 	}
 	set[j.ID] = j
 	s.speeds[j.ID] = 1
+	s.jobGen[j.ID]++ // new trajectory: any cached completion prediction is stale
 }
 
 // Preempt checkpoints a running job back to the queue (intrusive — Tiresias
@@ -690,6 +763,7 @@ func (e *Env) StartProfiling(j *job.Job) bool {
 	}
 	e.s.profiling[j.ID] = j
 	e.s.speeds[j.ID] = 1
+	e.s.jobGen[j.ID]++ // new trajectory: stale any cached completion prediction
 	e.s.profileStart[j.ID] = e.s.now
 	e.s.record(EvProfileStart, j.ID, j.GPUs, j.VC)
 	e.s.trace(dtrace.ActProfileStart, j, "admitted", 0)

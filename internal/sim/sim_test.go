@@ -416,11 +416,11 @@ func TestStopProfilingClearsCheckpointDebt(t *testing.T) {
 	}
 }
 
-func TestPendingSkipsFinishedPrefix(t *testing.T) {
-	// Pending must keep returning every waiting job while the finished-
-	// prefix optimization advances past terminal jobs. A burst of short
-	// jobs finishes first; the late arrival must still be scheduled, and a
-	// preempted job (index past the prefix) must reappear.
+func TestPendingSkipsFinishedJobs(t *testing.T) {
+	// Pending must keep returning every waiting job while the live window
+	// unlinks terminal ones. A burst of short jobs finishes first; the late
+	// arrival must still be scheduled, and once everything completes the
+	// window must be empty — terminal jobs never linger in the scan.
 	jobs := []*job.Job{}
 	for i := 1; i <= 6; i++ {
 		jobs = append(jobs, mkJob(i, 1, 0, 50))
@@ -432,11 +432,33 @@ func TestPendingSkipsFinishedPrefix(t *testing.T) {
 	if res.Unfinished != 0 {
 		t.Fatalf("unfinished: %d", res.Unfinished)
 	}
-	if s.pendLow == 0 {
-		t.Fatal("finished prefix never advanced")
+	if n := s.win.count(); n != 0 {
+		t.Fatalf("live window holds %d jobs after all finished, want 0", n)
 	}
 	if late := res.Jobs[6]; late.Finish < 0 || late.QueueDelay() > 30 {
 		t.Fatalf("late job mishandled: finish=%d queue=%d", late.Finish, late.QueueDelay())
+	}
+}
+
+func TestPendingWindowUnlinksOutOfOrder(t *testing.T) {
+	// The old terminal-*prefix* cursor stalled permanently on the first
+	// non-terminal job: one long-running early job kept every later
+	// (finished) job inside the scan window forever. The live window must
+	// unlink terminal jobs individually, regardless of completion order.
+	jobs := []*job.Job{
+		mkJob(1, 1, 0, 100000), // long-running head, still alive at the end
+	}
+	for i := 2; i <= 5; i++ {
+		jobs = append(jobs, mkJob(i, 1, 0, 50)) // short, finish early
+	}
+	tr := mkTrace(jobs...)
+	s := New(tr, fifoLike{}, Options{Tick: 10, MaxHorizon: 2000})
+	s.Run()
+	if got := s.byID[1].State; got != job.Running {
+		t.Fatalf("head job state = %v, want still Running", got)
+	}
+	if n := s.win.count(); n != 1 {
+		t.Fatalf("live window holds %d jobs, want 1 (only the running head)", n)
 	}
 }
 

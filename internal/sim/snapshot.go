@@ -62,7 +62,6 @@ type worldSnap struct {
 
 	Now         int64   `json:"now"`
 	ArriveIdx   int     `json:"arrive_idx"`
-	PendLow     int     `json:"pend_low"`
 	Finished    int     `json:"finished"`
 	LastSched   int64   `json:"last_sched"`
 	LastSample  int64   `json:"last_sample"`
@@ -142,7 +141,6 @@ func (s *Sim) Snapshot(w io.Writer) error {
 		Tick:         s.opts.Tick,
 		Now:          s.now,
 		ArriveIdx:    s.arriveIdx,
-		PendLow:      s.pendLow,
 		Finished:     s.finished,
 		LastSched:    s.lastSched,
 		LastSample:   s.lastSample,
@@ -254,7 +252,6 @@ func Resume(tr *trace.Trace, sched Scheduler, opts Options, r io.Reader) (*Sim, 
 
 	s.now = dto.Now
 	s.arriveIdx = dto.ArriveIdx
-	s.pendLow = dto.PendLow
 	s.finished = dto.Finished
 	s.lastSched = dto.LastSched
 	s.lastSample = dto.LastSample
@@ -297,6 +294,20 @@ func Resume(tr *trace.Trace, sched Scheduler, opts Options, r io.Reader) (*Sim, 
 				return nil, fmt.Errorf("sim: snapshot job %d is profiling but options configure no profiler cluster", js.ID)
 			}
 			s.profiling[js.ID] = j
+		}
+	}
+
+	// The live window and the backoff heap are pure functions of restored
+	// job state — rebuild rather than serialize. Window order is identical
+	// to a continuous run's: both append in index (= admission) order.
+	for i := 0; i < s.arriveIdx; i++ {
+		if !s.jobs[i].State.Terminal() {
+			s.win.push(i)
+		}
+	}
+	for _, j := range s.jobs[:s.arriveIdx] {
+		if (j.State == job.Pending || j.State == job.Queued) && j.NextEligible > s.now {
+			s.pushBackoff(j)
 		}
 	}
 
