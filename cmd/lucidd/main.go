@@ -18,11 +18,17 @@
 // before the listener closes. -chaos additionally mounts POST /chaos for
 // fault-injection during integration tests.
 //
-// With -state-dir the daemon is durable: every mutating request is logged to
-// a write-ahead log under the directory (job submissions fsynced before the
-// ack), periodically compacted into a snapshot, recovered on boot — a SIGKILL
-// loses nothing that was acknowledged — and snapshotted once more after a
-// clean SIGTERM drain.
+// With -shards N the control plane is partitioned into per-VC shards: each
+// shard owns its slice of the job/agent tables behind its own mutex, VCs are
+// hash-routed to shards, cluster-wide reads fan out and merge, and GET
+// /metrics//healthz never touch a shard lock. With -state-dir the daemon is
+// additionally durable: every mutating request is logged to a write-ahead
+// log under <state-dir>/shard-<i>/ (job submissions fsynced before the ack),
+// periodically compacted into a snapshot, and recovered shard-by-shard on
+// boot — a SIGKILL loses nothing that was acknowledged, a torn WAL tail on
+// one shard never touches a sibling — and snapshotted once more after a
+// clean SIGTERM drain. A state dir is bound to the shard count that created
+// it. Drive it with cmd/lucidload to measure sustained req/s and latency.
 //
 // GET /metrics serves the daemon's own instruments (request latency and
 // status codes per endpoint, WAL append/fsync latency, snapshot cost, queue
@@ -47,6 +53,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 1, "per-VC state shards (VCs are hash-routed; a state dir is bound to its shard count)")
 	chaos := flag.Bool("chaos", false, "mount the POST /chaos fault-injection endpoint (testing only)")
 	stale := flag.Duration("agent-stale-after", 90*time.Second, "evict agents silent for longer than this")
 	maxBody := flag.Int64("max-body-bytes", 1<<20, "reject request bodies larger than this")
@@ -56,6 +63,7 @@ func main() {
 	flag.Parse()
 
 	srv, err := lucidd.NewServerWith(lucidd.Options{
+		Shards:          *shards,
 		MaxBodyBytes:    *maxBody,
 		AgentStaleAfter: *stale,
 		EnableChaos:     *chaos,
@@ -66,8 +74,14 @@ func main() {
 	}
 	if *stateDir != "" {
 		records, torn, fromSnap := srv.Recovery()
-		log.Printf("lucidd state dir %s: recovered %d WAL records (snapshot=%v, torn tail=%d bytes)",
-			*stateDir, records, fromSnap, torn)
+		log.Printf("lucidd state dir %s: recovered %d WAL records across %d shard(s) (snapshot=%v, torn tail=%d bytes)",
+			*stateDir, records, srv.Shards(), fromSnap, torn)
+		for _, r := range srv.ShardRecoveries() {
+			if r.Records > 0 || r.TornBytes > 0 || r.FromSnapshot {
+				log.Printf("lucidd shard %d: %d WAL records (snapshot=%v, torn tail=%d bytes)",
+					r.Shard, r.Records, r.FromSnapshot, r.TornBytes)
+			}
+		}
 	}
 
 	if *pprofAddr != "" {

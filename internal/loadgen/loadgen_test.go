@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// recordingHandler is a stub control plane: it logs every request it sees
+// and acks job submissions with sequential IDs, so tests can inspect the
+// exact op stream a configuration produces.
+type recordingHandler struct {
+	mu     sync.Mutex
+	seen   []string // "METHOD path body"
+	nextID int
+}
+
+func (h *recordingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	h.mu.Lock()
+	h.seen = append(h.seen, r.Method+" "+r.URL.RequestURI()+" "+string(body))
+	isSubmit := r.Method == http.MethodPost && r.URL.Path == "/jobs"
+	if isSubmit {
+		h.nextID++
+	}
+	id := h.nextID
+	h.mu.Unlock()
+	if isSubmit {
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"id":%d,"name":"x"}`, id)
+		return
+	}
+	w.Write([]byte(`{}`))
+}
+
+// TestParseMix covers the spec grammar and its rejects.
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("heartbeat=8,sample=4,submit=1,schedule=1,agents=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Heartbeat: 8, Sample: 4, Submit: 1, Schedule: 1, Agents: 2}) {
+		t.Errorf("parsed mix = %+v", m)
+	}
+	if _, err := ParseMix(m.String()); err != nil {
+		t.Errorf("String() not re-parseable: %v", err)
+	}
+	for _, bad := range []string{"", "bogus=1", "heartbeat", "heartbeat=-1", "heartbeat=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDeterministicStream is the contract the shard-parity and soak tests
+// lean on: the same seed and budget produce the identical request sequence.
+func TestDeterministicStream(t *testing.T) {
+	stream := func(seed int64) ([]string, []int) {
+		h := &recordingHandler{}
+		res, err := Run(Options{
+			Handler: h, Agents: 16, VCs: 4, Workers: 1,
+			OpsPerWorker: 300, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("stub run had %d errors", res.Errors)
+		}
+		return h.seen, res.AckedJobs
+	}
+	a1, acked1 := stream(7)
+	a2, acked2 := stream(7)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same seed produced different op streams")
+	}
+	if !reflect.DeepEqual(acked1, acked2) {
+		t.Fatalf("same seed produced different acks: %v vs %v", acked1, acked2)
+	}
+	b, _ := stream(8)
+	if reflect.DeepEqual(a1, b) {
+		t.Fatal("different seeds produced the identical op stream")
+	}
+}
+
+// TestResultAccounting checks that every issued request lands in exactly one
+// bucket and the per-op counts reconcile with the total.
+func TestResultAccounting(t *testing.T) {
+	h := &recordingHandler{}
+	res, err := Run(Options{
+		Handler: h, Agents: 32, VCs: 4, Workers: 4,
+		OpsPerWorker: 250, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(4 * 250); res.Requests != want {
+		t.Errorf("requests = %d, want %d", res.Requests, want)
+	}
+	if res.Errors != 0 || res.Rejected != 0 {
+		t.Errorf("errors=%d rejected=%d on a 2xx-only stub", res.Errors, res.Rejected)
+	}
+	var perOp int64
+	for _, st := range res.PerOp {
+		perOp += st.Count
+	}
+	if perOp != res.Requests {
+		t.Errorf("per-op counts sum to %d, want %d", perOp, res.Requests)
+	}
+	if len(res.AckedJobs) == 0 {
+		t.Error("no jobs acked by a mix containing submits")
+	}
+	for i := 1; i < len(res.AckedJobs); i++ {
+		if res.AckedJobs[i] < res.AckedJobs[i-1] {
+			t.Fatal("AckedJobs not sorted")
+		}
+	}
+	if res.ReqPerSec <= 0 || res.DurationSec <= 0 {
+		t.Errorf("rates unset: %+v", res)
+	}
+}
+
+// TestRejectedClassification: 503s are drain rejections, not errors.
+func TestRejectedClassification(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	res, err := Run(Options{Handler: h, Workers: 2, OpsPerWorker: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 100 || res.Errors != 0 {
+		t.Errorf("rejected=%d errors=%d, want 100/0", res.Rejected, res.Errors)
+	}
+}
+
+func TestParseJobID(t *testing.T) {
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"id":42,"name":"x"}`, 42},
+		{`{"name":"x","id":7}`, 7},
+		{`{"name":"x"}`, 0},
+		{``, 0},
+	} {
+		if got := parseJobID([]byte(tc.body)); got != tc.want {
+			t.Errorf("parseJobID(%q) = %d, want %d", tc.body, got, tc.want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package lucidd
 
 import (
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/metrics"
@@ -13,7 +14,13 @@ import (
 // plane itself. The instruments cover the three layers an operator debugs in
 // practice — the HTTP surface (per-endpoint latency and status codes), the
 // durability layer (WAL append and fsync latency, snapshot/compaction cost),
-// and the scheduler's population (queue depth, profiled jobs, live agents).
+// and the scheduler's population (queue depth, profiled jobs, live agents,
+// per shard and in aggregate).
+//
+// The scrape path is deliberately lock-free with respect to the shards: the
+// population gauges are refreshed from each shard's atomic counters, never
+// by taking a shard mutex. A wedged or slow shard therefore cannot block
+// monitoring — exactly when the operator needs the scrape most.
 
 // serverMetrics bundles the pre-registered instruments.
 type serverMetrics struct {
@@ -29,21 +36,25 @@ type serverMetrics struct {
 
 	recRecords *metrics.Gauge // lucidd_recovered_wal_records
 	recTorn    *metrics.Gauge // lucidd_recovered_torn_bytes
-	recSnap    *metrics.Gauge // lucidd_recovered_from_snapshot (0/1)
+	recSnap    *metrics.Gauge // lucidd_recovered_from_snapshot (shards recovered from snapshot)
 
 	queueDepth *metrics.Gauge // lucidd_queue_depth
 	profiled   *metrics.Gauge // lucidd_jobs_profiled
 	agents     *metrics.Gauge // lucidd_agents
+
+	shards      *metrics.Gauge    // lucidd_shards
+	shardJobs   *metrics.GaugeVec // lucidd_shard_jobs{shard}
+	shardAgents *metrics.GaugeVec // lucidd_shard_agents{shard}
 }
 
 // latencyBuckets spans 10µs–~80s: local WAL fsyncs sit at the bottom,
 // chaos-delayed or drain-blocked requests at the top.
 func latencyBuckets() []float64 { return metrics.ExpBuckets(1e-5, 2, 24) }
 
-func newServerMetrics(clock func() time.Time) *serverMetrics {
+func newServerMetrics(clock func() time.Time, shards int) *serverMetrics {
 	reg := metrics.New()
 	reg.SetClock(clock)
-	return &serverMetrics{
+	m := &serverMetrics{
 		reg: reg,
 		httpReqs: reg.CounterVec("lucidd_http_requests_total",
 			"HTTP requests by endpoint, method and status code.",
@@ -60,17 +71,24 @@ func newServerMetrics(clock func() time.Time) *serverMetrics {
 		compacts: reg.Counter("lucidd_compactions_total",
 			"Snapshot compactions performed."),
 		recRecords: reg.Gauge("lucidd_recovered_wal_records",
-			"WAL records replayed at boot."),
+			"WAL records replayed at boot, summed across shards."),
 		recTorn: reg.Gauge("lucidd_recovered_torn_bytes",
-			"Torn WAL tail bytes truncated at boot."),
+			"Torn WAL tail bytes truncated at boot, summed across shards."),
 		recSnap: reg.Gauge("lucidd_recovered_from_snapshot",
-			"1 if boot state was loaded from a snapshot, else 0."),
+			"Shards whose boot state was loaded from a snapshot."),
 		queueDepth: reg.Gauge("lucidd_queue_depth",
 			"Registered jobs awaiting scheduling."),
 		profiled: reg.Gauge("lucidd_jobs_profiled",
 			"Jobs whose profile has reached the minimum sample count."),
 		agents: reg.Gauge("lucidd_agents", "Live node agents."),
+		shards: reg.Gauge("lucidd_shards", "Configured state shards."),
+		shardJobs: reg.GaugeVec("lucidd_shard_jobs",
+			"Registered jobs per state shard.", "shard"),
+		shardAgents: reg.GaugeVec("lucidd_shard_agents",
+			"Live node agents per state shard.", "shard"),
 	}
+	m.shards.Set(float64(shards))
+	return m
 }
 
 // metricsPaths are the routes ServeHTTP labels individually; anything else
@@ -102,18 +120,22 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// observePopulationLocked refreshes the population gauges from current state;
-// called with s.mu held at scrape time, so a scrape always reflects a
-// consistent snapshot.
-func (s *Server) observePopulationLocked() {
+// observePopulation refreshes the population gauges from the shards' atomic
+// counters — no shard lock is taken, so a scrape reflects a near-instant
+// view and always completes, even mid-incident with a shard wedged.
+func (s *Server) observePopulation() {
 	m := s.met
-	profiled := 0
-	for _, js := range s.jobs {
-		if js.Samples >= minSamples {
-			profiled++
-		}
+	var jobs, profiled, agents int64
+	for _, sh := range s.shards {
+		j, a := sh.nJobs.Load(), sh.nAgents.Load()
+		jobs += j
+		profiled += sh.nProfiled.Load()
+		agents += a
+		label := strconv.Itoa(sh.idx)
+		m.shardJobs.With(label).Set(float64(j))
+		m.shardAgents.With(label).Set(float64(a))
 	}
-	m.queueDepth.Set(float64(len(s.jobs)))
+	m.queueDepth.Set(float64(jobs))
 	m.profiled.Set(float64(profiled))
-	m.agents.Set(float64(len(s.agents)))
+	m.agents.Set(float64(agents))
 }

@@ -4,6 +4,13 @@
 // server maintains profiles, Sharing Scores, duration estimates and a
 // priority-ordered queue — all without ever touching user training code,
 // which is the paper's A1/A2 deployment story.
+//
+// The control plane is sharded for multi-tenant scale: state is partitioned
+// into per-VC shards (Options.Shards), each with its own mutex, estimator
+// clone and — when durability is on — its own WAL and snapshot directory.
+// A routing front door maps each mutating request to exactly one shard,
+// fans out and merges for cluster-wide reads, and serves read-mostly paths
+// (GET /metrics, /healthz) from atomics without touching any shard lock.
 package lucidd
 
 import (
@@ -20,7 +27,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dtrace"
-	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -44,9 +50,11 @@ type jobState struct {
 	Restarts int `json:"restarts"`
 }
 
-// agentState is one registered node agent, kept alive by heartbeats.
+// agentState is one registered node agent, kept alive by heartbeats. The VC
+// is the agent's routing key: it decides which shard owns the agent.
 type agentState struct {
 	Name     string    `json:"name"`
+	VC       string    `json:"vc,omitempty"`
 	Node     int       `json:"node"` // 0-based node index the agent reports for
 	LastSeen time.Time `json:"last_seen"`
 }
@@ -68,6 +76,11 @@ const traceKeep = 4096
 // Options hardens the server against hostile or failing clients. The zero
 // value selects production defaults.
 type Options struct {
+	// Shards is the number of per-VC state shards. VCs are routed to shards
+	// by stable hash, so with Shards >= the number of VCs each VC owns a
+	// shard. 0 or 1 selects the single-shard (fully serialized) layout.
+	// A state dir, once created, is bound to its shard count.
+	Shards int
 	// MaxBodyBytes caps every request body; larger payloads get 413.
 	// Defaults to 1 MiB.
 	MaxBodyBytes int64
@@ -79,16 +92,21 @@ type Options struct {
 	EnableChaos bool
 	// StateDir enables durability: mutating requests are WAL-logged there
 	// and compacted into snapshots, and the server recovers the directory's
-	// state on construction. Empty means in-memory only.
+	// state on construction. Each shard keeps its own WAL and snapshot under
+	// <StateDir>/shard-<idx>/ and recovers independently. Empty means
+	// in-memory only.
 	StateDir string
-	// CompactEvery overrides the WAL-records-per-snapshot compaction
-	// threshold (tests use tiny values). 0 selects the default.
+	// CompactEvery overrides the per-shard WAL-records-per-snapshot
+	// compaction threshold (tests use tiny values). 0 selects the default.
 	CompactEvery int64
 	// Clock substitutes time.Now so staleness tests are deterministic.
 	Clock func() time.Time
 }
 
 func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	if o.MaxBodyBytes == 0 {
 		o.MaxBodyBytes = 1 << 20
 	}
@@ -101,28 +119,31 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is the HTTP control plane.
+// Server is the HTTP control plane: a routing front door over per-VC shards.
 type Server struct {
-	opts     Options
-	mu       sync.Mutex
-	nextID   int
-	jobs     map[int]*jobState
-	agents   map[string]*agentState
+	opts Options
+	// shards holds the per-VC state machines; shardFor routes a VC here.
+	// The slice is immutable after construction.
+	shards []*shard
+	// nextID is the global job-ID allocator (last allocated ID): IDs are
+	// cluster-unique regardless of which shard owns the job, and — because
+	// allocation is a single atomic increment — a given request sequence
+	// yields the same IDs at any shard count (the shard-parity contract).
+	nextID atomic.Int64
+	// jobShard routes a job ID to the shard owning it (int -> *shard);
+	// maintained on submit, WAL replay and snapshot load. Sample ingest is
+	// the hot path that needs it: agents report per-job, not per-VC.
+	jobShard sync.Map
 	analyzer *core.PackingAnalyzer
-	est      *core.WorkloadEstimator
 	mux      *http.ServeMux
 	// rec is the decision-trace flight recorder behind /trace: job
 	// registrations, profile completions and every /schedule ordering
 	// decision are recorded with their reasoning. The recorder is
-	// internally synchronized; it is used outside s.mu.
+	// internally synchronized; it is used outside shard locks.
 	rec *dtrace.Recorder
-	// store is the durability layer (nil when Options.StateDir is empty).
-	// Its methods are called with mu held, which keeps WAL order consistent
-	// with the state mutations the records describe.
-	store *store
 	// met is the server's own observability: GET /metrics serves it as
 	// Prometheus text. Always non-nil; instruments are internally
-	// synchronized and used both inside and outside s.mu.
+	// synchronized and never require a shard lock.
 	met     *serverMetrics
 	started time.Time
 
@@ -137,7 +158,7 @@ type Server struct {
 
 // Model training is deterministic and expensive, so every server shares one
 // pass: the packing analyzer is immutable at inference and shared outright;
-// the estimator caches per-job state, so each server gets its own Clone.
+// the estimator caches per-job state, so each shard gets its own Clone.
 var training struct {
 	sync.Once
 	analyzer *core.PackingAnalyzer
@@ -163,8 +184,8 @@ func trainShared() error {
 func NewServer() (*Server, error) { return NewServerWith(Options{}) }
 
 // NewServerWith trains the interpretable models (once per process, on a
-// synthetic history month standing in for the operator's real logs) and
-// wires the routes.
+// synthetic history month standing in for the operator's real logs), builds
+// the shard set and wires the routes.
 func NewServerWith(opts Options) (*Server, error) {
 	if err := trainShared(); err != nil {
 		return nil, err
@@ -174,14 +195,14 @@ func NewServerWith(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:     opts,
-		met:      newServerMetrics(opts.Clock),
-		nextID:   1,
-		jobs:     map[int]*jobState{},
-		agents:   map[string]*agentState{},
 		analyzer: training.analyzer,
-		est:      training.est.Clone(),
 		mux:      http.NewServeMux(),
 		rec:      rec,
+	}
+	s.met = newServerMetrics(opts.Clock, opts.Shards)
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(i, s)
 	}
 	s.started = s.opts.Clock()
 	s.mux.HandleFunc("/jobs", s.handleJobs)
@@ -196,29 +217,56 @@ func NewServerWith(opts Options) (*Server, error) {
 		s.mux.HandleFunc("/chaos", s.handleChaos)
 	}
 	if s.opts.StateDir != "" {
-		// No concurrency yet — the server isn't serving — but openStore
-		// routes through the same *Locked apply functions the handlers use.
-		s.mu.Lock()
-		err := s.openStore(s.opts.StateDir)
-		s.mu.Unlock()
-		if err != nil {
+		// No concurrency yet — the server isn't serving — but each shard's
+		// openStore routes through the same *Locked apply functions the
+		// handlers use, and each shard recovers independently: one shard's
+		// torn WAL tail never touches a sibling's state.
+		if err := s.openStores(s.opts.StateDir); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
 }
 
-// Recovery reports what the durability layer found on boot: how many WAL
-// records were replayed, whether a snapshot was loaded, and how many torn
-// bytes were truncated. Zero values when durability is off.
-func (s *Server) Recovery() (records int, tornBytes int64, fromSnapshot bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.store == nil {
-		return 0, 0, false
-	}
-	return s.store.recovered.Records, s.store.recovered.TornBytes, s.store.hadSnapshot
+// ShardRecovery reports what one shard's durability layer found on boot.
+type ShardRecovery struct {
+	Shard        int   `json:"shard"`
+	Records      int   `json:"records"`
+	TornBytes    int64 `json:"torn_bytes"`
+	FromSnapshot bool  `json:"from_snapshot"`
 }
+
+// ShardRecoveries reports per-shard boot recovery stats (empty when
+// durability is off).
+func (s *Server) ShardRecoveries() []ShardRecovery {
+	var out []ShardRecovery
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.store != nil {
+			out = append(out, ShardRecovery{Shard: sh.idx,
+				Records:      sh.store.recovered.Records,
+				TornBytes:    sh.store.recovered.TornBytes,
+				FromSnapshot: sh.store.hadSnapshot})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Recovery aggregates boot recovery across shards: total WAL records
+// replayed, total torn bytes truncated, and whether any shard loaded a
+// snapshot. Zero values when durability is off.
+func (s *Server) Recovery() (records int, tornBytes int64, fromSnapshot bool) {
+	for _, r := range s.ShardRecoveries() {
+		records += r.Records
+		tornBytes += r.TornBytes
+		fromSnapshot = fromSnapshot || r.FromSnapshot
+	}
+	return records, tornBytes, fromSnapshot
+}
+
+// Shards reports the configured shard count.
+func (s *Server) Shards() int { return len(s.shards) }
 
 // ServeHTTP implements http.Handler. It is the hardening choke point: every
 // request is counted for drain tracking, refused while draining, optionally
@@ -261,8 +309,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Shutdown drains the server: new requests get 503 immediately, and the call
 // blocks until every in-flight request has completed or ctx expires. After a
-// clean drain the durable state (if any) is snapshotted and the WAL closed,
-// so the next boot restores from the snapshot alone.
+// clean drain every shard's durable state (if any) is snapshotted and its WAL
+// closed, so the next boot restores from the snapshots alone.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	tick := time.NewTicker(2 * time.Millisecond)
@@ -270,16 +318,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for s.inflight.Load() != 0 {
 		select {
 		case <-ctx.Done():
-			// Drain expired with requests still in flight: leave the WAL as
+			// Drain expired with requests still in flight: leave the WALs as
 			// the source of truth rather than snapshotting a moving state.
 			return ctx.Err()
 		case <-tick.C:
 		}
 	}
-	s.mu.Lock()
-	err := s.closeStoreLocked()
-	s.store = nil
-	s.mu.Unlock()
+	var err error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if cerr := sh.closeStoreLocked(); err == nil {
+			err = cerr
+		}
+		sh.store = nil
+		sh.mu.Unlock()
+	}
 	return err
 }
 
@@ -298,7 +351,9 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) b
 	return true
 }
 
-// handleJobs registers a job (POST) or lists jobs (GET).
+// handleJobs registers a job (POST, routed to its VC's shard) or lists jobs
+// (GET; ?vc= scopes the listing to one tenant's shard, otherwise the front
+// door fans out and merges).
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
@@ -316,40 +371,64 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "name and positive gpus required", http.StatusBadRequest)
 			return
 		}
-		s.mu.Lock()
-		id := s.nextID
+		id := int(s.nextID.Add(1))
+		sh := s.shardFor(req.VC)
 		js := &jobState{ID: id, Name: req.Name, User: req.User, VC: req.VC,
 			GPUs: req.GPUs, AMP: req.AMP}
-		s.applyJobLocked(js)
+		sh.mu.Lock()
+		sh.applyJobLocked(js)
 		// The record is fsynced (sync=true) before the 201 is written: an
 		// acknowledged submission is durable. Apply-then-log order matters —
 		// if the append lands on the compaction threshold, the snapshot that
 		// replaces the WAL must already contain this job.
-		if err := s.logOpLocked(walOp{Op: "job", ID: id, Name: req.Name,
+		if err := sh.logOpLocked(walOp{Op: "job", ID: id, Name: req.Name,
 			User: req.User, VC: req.VC, GPUs: req.GPUs, AMP: req.AMP}, true); err != nil {
-			delete(s.jobs, id)
-			s.nextID = id
-			s.mu.Unlock()
+			sh.dropJobLocked(id)
+			sh.mu.Unlock()
 			http.Error(w, fmt.Sprintf("persist job: %v", err), http.StatusInternalServerError)
 			return
 		}
-		s.mu.Unlock()
+		cp := *js
+		sh.mu.Unlock()
 		s.rec.Record(dtrace.Event{Job: id, Action: dtrace.ActRelease,
-			Reason: "registered", VC: js.VC, GPUs: js.GPUs})
-		writeJSON(w, http.StatusCreated, js)
+			Reason: "registered", VC: cp.VC, GPUs: cp.GPUs})
+		writeJSON(w, http.StatusCreated, cp)
 	case http.MethodGet:
-		s.mu.Lock()
-		out := s.snapshotLocked()
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, http.StatusOK, s.collectJobs(r.URL.Query().Get("vc")))
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
 }
 
+// collectJobs gathers job copies: from the one shard owning vc when scoped,
+// else from every shard in turn (at most one shard lock held at a time),
+// merged in ID order.
+func (s *Server) collectJobs(vc string) []*jobState {
+	if vc != "" {
+		out := make([]*jobState, 0)
+		for _, js := range s.shardFor(vc).copyJobs() {
+			if js.VC == vc {
+				out = append(out, js)
+			}
+		}
+		return out
+	}
+	out := make([]*jobState, 0)
+	for _, sh := range s.shards {
+		out = append(out, sh.copyJobs()...)
+	}
+	sortJobsByID(out)
+	return out
+}
+
+func sortJobsByID(out []*jobState) {
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+}
+
 // handleMetrics is two endpoints sharing a path, split by method: POST
-// ingests one NVIDIA-SMI-style sample from a node agent; GET serves the
-// server's own instruments in Prometheus text exposition format.
+// ingests one NVIDIA-SMI-style sample from a node agent (routed to the shard
+// owning the job); GET serves the server's own instruments in Prometheus
+// text exposition format without touching any shard lock.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodGet {
 		s.serveMetrics(w)
@@ -368,38 +447,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	js, ok := s.jobs[req.Job]
+	sh, ok := s.shardOfJob(req.Job)
 	if !ok {
 		http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
 		return
 	}
-	crossed := s.applySampleLocked(js, req.GPUUtil, req.GPUMemMB, req.GPUMemUtil)
+	sh.mu.Lock()
+	js, ok := sh.jobs[req.Job]
+	if !ok {
+		sh.mu.Unlock()
+		http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
+		return
+	}
+	crossed := sh.applySampleLocked(js, req.GPUUtil, req.GPUMemMB, req.GPUMemUtil)
 	// Samples are logged unsynced: losing the last batch in a crash only
 	// costs telemetry the agents re-send anyway.
-	if err := s.logOpLocked(walOp{Op: "metrics", ID: js.ID, GPUUtil: req.GPUUtil,
+	if err := sh.logOpLocked(walOp{Op: "metrics", ID: js.ID, GPUUtil: req.GPUUtil,
 		GPUMemMB: req.GPUMemMB, GPUMemUtil: req.GPUMemUtil}, false); err != nil {
+		sh.mu.Unlock()
 		http.Error(w, fmt.Sprintf("persist sample: %v", err), http.StatusInternalServerError)
 		return
 	}
+	cp := *js
+	sh.mu.Unlock()
 	if crossed {
 		// The job just crossed the profiling threshold: from here on the
 		// analyzer scores it from real metrics instead of the Jumbo prior.
-		s.rec.Record(dtrace.Event{Job: js.ID, Action: dtrace.ActProfileStop,
-			Reason: "min-samples-reached", VC: js.VC, GPUs: js.GPUs,
-			Score: js.Profile.GPUUtil})
+		s.rec.Record(dtrace.Event{Job: cp.ID, Action: dtrace.ActProfileStop,
+			Reason: "min-samples-reached", VC: cp.VC, GPUs: cp.GPUs,
+			Score: cp.Profile.GPUUtil})
 	}
-	writeJSON(w, http.StatusOK, js)
+	writeJSON(w, http.StatusOK, cp)
 }
 
 // serveMetrics renders the Prometheus scrape. Population gauges are
-// refreshed under the lock first, so each scrape is a consistent snapshot of
-// queue depth, profiled-job count and live agents.
+// refreshed from the shards' atomic counters — no shard lock is taken, so a
+// scrape always completes even when a shard is wedged or slow.
 func (s *Server) serveMetrics(w http.ResponseWriter) {
-	s.mu.Lock()
-	s.observePopulationLocked()
-	s.mu.Unlock()
+	s.observePopulation()
 	w.Header().Set("Content-Type", metrics.TextContentType)
 	_ = s.met.reg.WriteText(w)
 }
@@ -408,82 +493,16 @@ func (s *Server) serveMetrics(w http.ResponseWriter) {
 // instruments or tests that assert on them).
 func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
 
-// applyJobLocked installs a registered job (live submit and WAL replay share
-// this path) and recomputes its derived fields.
-func (s *Server) applyJobLocked(js *jobState) {
-	js.Score = workload.Jumbo.String()
-	s.jobs[js.ID] = js
-	if js.ID >= s.nextID {
-		s.nextID = js.ID + 1
-	}
-	s.refreshLocked(js)
-}
-
-// applySampleLocked folds one NVIDIA-SMI-style sample into the job's running
-// mean — what a DCGM poller would maintain — and reports whether this sample
-// crossed the profiling threshold.
-func (s *Server) applySampleLocked(js *jobState, util, memMB, memUtil float64) bool {
-	n := float64(js.Samples)
-	js.Profile.GPUUtil = (js.Profile.GPUUtil*n + util) / (n + 1)
-	js.Profile.GPUMemMB = (js.Profile.GPUMemMB*n + memMB) / (n + 1)
-	js.Profile.GPUMemUtil = (js.Profile.GPUMemUtil*n + memUtil) / (n + 1)
-	js.Samples++
-	s.refreshLocked(js)
-	return js.Samples == minSamples
-}
-
-// applyAgentLocked registers or heartbeats an agent, reporting whether it was
-// already known.
-func (s *Server) applyAgentLocked(name string, node int, now time.Time) (agentState, bool) {
-	a, known := s.agents[name]
-	if !known {
-		a = &agentState{Name: name, Node: node}
-		s.agents[name] = a
-	}
-	a.Node = node
-	a.LastSeen = now
-	return *a, known
-}
-
-// applyFailJobLocked kills a job: the in-memory profile is lost and the job
-// re-enters the system unprofiled, scored by the conservative Jumbo prior
-// until fresh samples arrive — mirroring the simulator's
-// requeue-through-profiler path.
-func (s *Server) applyFailJobLocked(js *jobState) {
-	js.Restarts++
-	js.Samples = 0
-	js.Profile = profile{}
-	s.refreshLocked(js)
-}
-
-// refreshLocked recomputes score and estimate from the current state.
-func (s *Server) refreshLocked(js *jobState) {
-	j := job.New(js.ID, js.Name, js.User, js.VC, js.GPUs, 0, 0, workload.Config{})
-	j.AMP = js.AMP
-	if js.Samples >= minSamples {
-		j.Profiled = true
-		j.Profile = workload.Profile{
-			GPUUtil:    js.Profile.GPUUtil,
-			GPUMemMB:   js.Profile.GPUMemMB,
-			GPUMemUtil: js.Profile.GPUMemUtil,
-			AMP:        js.AMP,
-		}
-	}
-	js.Score = s.analyzer.ScoreJob(j).String()
-	s.est.Invalidate(j.ID)
-	js.EstSec = s.est.EstimateSec(j)
-}
-
 // handleSchedule returns the queue in Lucid priority order
-// (GPUs × estimated duration, ascending — Algorithm 2).
+// (GPUs × estimated duration, ascending — Algorithm 2). ?vc= scopes the
+// queue to one tenant's shard; otherwise every shard contributes its queue
+// and the front door merges.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	out := s.snapshotLocked()
-	s.mu.Unlock()
+	out := s.collectJobs(r.URL.Query().Get("vc"))
 	sort.Slice(out, func(i, j int) bool {
 		pi := float64(out[i].GPUs) * out[i].EstSec
 		pj := float64(out[j].GPUs) * out[j].EstSec
@@ -512,16 +531,19 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleAgents registers or heartbeats a node agent (POST) and lists live
-// agents (GET). Both paths first evict agents whose heartbeat went stale —
-// the non-intrusive analogue of a node failure detector: the scheduler never
-// reaches into the node, it just stops trusting silence.
+// handleAgents registers or heartbeats a node agent (POST, routed to its
+// VC's shard) and lists live agents (GET; ?vc= scopes to one shard). Both
+// paths first evict agents whose heartbeat went stale — the non-intrusive
+// analogue of a node failure detector: the scheduler never reaches into the
+// node, it just stops trusting silence. The sweep is strictly shard-local,
+// so one tenant's eviction storm never stalls another tenant's heartbeats.
 func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
 	now := s.opts.Clock()
 	switch r.Method {
 	case http.MethodPost:
 		var req struct {
 			Name string `json:"name"`
+			VC   string `json:"vc"`
 			Node int    `json:"node"`
 		}
 		if !s.decode(w, r, &req) {
@@ -531,45 +553,43 @@ func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "name and non-negative node required", http.StatusBadRequest)
 			return
 		}
-		s.mu.Lock()
-		s.sweepStaleLocked(now)
-		cp, known := s.applyAgentLocked(req.Name, req.Node, now)
-		if err := s.logOpLocked(walOp{Op: "agent", Name: req.Name, Node: req.Node,
-			UnixNano: now.UnixNano()}, false); err != nil {
-			s.mu.Unlock()
+		sh := s.shardFor(req.VC)
+		sh.mu.Lock()
+		sh.sweepStaleLocked(now)
+		cp, known := sh.applyAgentLocked(req.Name, req.VC, req.Node, now)
+		if err := sh.logOpLocked(walOp{Op: "agent", Name: req.Name, VC: req.VC,
+			Node: req.Node, UnixNano: now.UnixNano()}, false); err != nil {
+			sh.mu.Unlock()
 			http.Error(w, fmt.Sprintf("persist heartbeat: %v", err), http.StatusInternalServerError)
 			return
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		if !known {
 			s.rec.Record(dtrace.Event{Action: dtrace.ActNodeRepair,
 				Reason: "agent-online", Node: cp.Node + 1})
 		}
 		writeJSON(w, http.StatusOK, cp)
 	case http.MethodGet:
-		s.mu.Lock()
-		s.sweepStaleLocked(now)
-		out := make([]agentState, 0, len(s.agents))
-		for _, a := range s.agents {
-			out = append(out, *a)
+		vc := r.URL.Query().Get("vc")
+		var out []agentState
+		if vc != "" {
+			for _, a := range s.shardFor(vc).copyAgents(now) {
+				if a.VC == vc {
+					out = append(out, a)
+				}
+			}
+		} else {
+			for _, sh := range s.shards {
+				out = append(out, sh.copyAgents(now)...)
+			}
 		}
-		s.mu.Unlock()
 		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		if out == nil {
+			out = []agentState{}
+		}
 		writeJSON(w, http.StatusOK, out)
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-	}
-}
-
-// sweepStaleLocked evicts agents whose last heartbeat predates the staleness
-// window, recording each eviction as a presumed node failure.
-func (s *Server) sweepStaleLocked(now time.Time) {
-	for name, a := range s.agents {
-		if now.Sub(a.LastSeen) > s.opts.AgentStaleAfter {
-			delete(s.agents, name)
-			s.rec.Record(dtrace.Event{Action: dtrace.ActNodeFail,
-				Reason: "heartbeat-stale", Node: a.Node + 1})
-		}
 	}
 }
 
@@ -595,32 +615,47 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	}
 	switch req.Action {
 	case "evict-agent":
-		s.mu.Lock()
-		a, ok := s.agents[req.Agent]
-		if ok {
-			delete(s.agents, req.Agent)
-			_ = s.logOpLocked(walOp{Op: "evict-agent", Name: req.Agent}, false)
+		// Agent names carry no shard hint, so the front door scans shards
+		// (one lock at a time) for the victim — fine for a test-only path.
+		var victim *agentState
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			if a, ok := sh.agents[req.Agent]; ok {
+				cp := *a
+				victim = &cp
+				delete(sh.agents, req.Agent)
+				sh.nAgents.Store(int64(len(sh.agents)))
+				_ = sh.logOpLocked(walOp{Op: "evict-agent", Name: req.Agent}, false)
+			}
+			sh.mu.Unlock()
+			if victim != nil {
+				break
+			}
 		}
-		s.mu.Unlock()
-		if !ok {
+		if victim == nil {
 			http.Error(w, fmt.Sprintf("unknown agent %q", req.Agent), http.StatusNotFound)
 			return
 		}
 		s.rec.Record(dtrace.Event{Action: dtrace.ActNodeFail,
-			Reason: "chaos-evict", Node: a.Node + 1})
-		writeJSON(w, http.StatusOK, a)
+			Reason: "chaos-evict", Node: victim.Node + 1})
+		writeJSON(w, http.StatusOK, victim)
 	case "fail-job":
-		s.mu.Lock()
-		js, ok := s.jobs[req.Job]
+		sh, ok := s.shardOfJob(req.Job)
 		if !ok {
-			s.mu.Unlock()
 			http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
 			return
 		}
-		s.applyFailJobLocked(js)
-		_ = s.logOpLocked(walOp{Op: "fail-job", ID: js.ID}, false)
+		sh.mu.Lock()
+		js, ok := sh.jobs[req.Job]
+		if !ok {
+			sh.mu.Unlock()
+			http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
+			return
+		}
+		sh.applyFailJobLocked(js)
+		_ = sh.logOpLocked(walOp{Op: "fail-job", ID: js.ID}, false)
 		cp := *js
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		s.rec.Record(dtrace.Event{Job: cp.ID, Action: dtrace.ActRequeue,
 			Reason: "chaos-kill", VC: cp.VC, GPUs: cp.GPUs})
 		writeJSON(w, http.StatusOK, cp)
@@ -666,7 +701,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz is the liveness/readiness probe: 200 while serving, 503 with
 // "draining" once Shutdown has begun. It is routed ahead of the drain gate in
-// ServeHTTP so orchestrators can observe the drain instead of a bare refusal.
+// ServeHTTP so orchestrators can observe the drain instead of a bare refusal,
+// and it touches no shard lock — a wedged shard cannot fail the probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -679,7 +715,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// durableStatus is the /statusz view of the durability layer.
+// durableStatus is the /statusz view of one durability layer (or, at the top
+// level, the aggregate across shards).
 type durableStatus struct {
 	StateDir           string  `json:"state_dir"`
 	WALRecords         int64   `json:"wal_records"` // records since the last snapshot
@@ -691,8 +728,18 @@ type durableStatus struct {
 	RecoveredTornBytes int64   `json:"recovered_torn_bytes"`
 }
 
+// shardStatus is the /statusz view of one shard.
+type shardStatus struct {
+	Shard   int            `json:"shard"`
+	Jobs    int            `json:"jobs"`
+	Agents  int            `json:"agents"`
+	Durable *durableStatus `json:"durable,omitempty"`
+}
+
 // handleStatusz reports operational state: uptime, population counts, drain
-// state and — when durability is on — WAL/snapshot lag.
+// state and — when durability is on — per-shard WAL/snapshot lag plus the
+// aggregate. Population counts come from the shards' atomics; the durable
+// detail is a fan-out that holds one shard lock at a time.
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -704,29 +751,57 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		UptimeSec float64        `json:"uptime_sec"`
 		Jobs      int            `json:"jobs"`
 		Agents    int            `json:"agents"`
+		Shards    int            `json:"shards"`
 		Draining  bool           `json:"draining"`
 		Durable   *durableStatus `json:"durable,omitempty"`
-	}{Status: "ok", Draining: s.draining.Load()}
+		ByShard   []shardStatus  `json:"by_shard,omitempty"`
+	}{Status: "ok", Shards: len(s.shards), Draining: s.draining.Load()}
 	if out.Draining {
 		out.Status = "draining"
 	}
-	s.mu.Lock()
 	out.UptimeSec = now.Sub(s.started).Seconds()
-	out.Jobs = len(s.jobs)
-	out.Agents = len(s.agents)
-	if st := s.store; st != nil {
-		out.Durable = &durableStatus{
-			StateDir:           st.dir,
-			WALRecords:         st.wal.Records(),
-			WALBytes:           st.wal.Bytes(),
-			HasSnapshot:        st.hadSnapshot,
-			SnapshotAgeSec:     now.Sub(st.snapTime).Seconds(),
-			Compactions:        st.compactions,
-			RecoveredRecords:   st.recovered.Records,
-			RecoveredTornBytes: st.recovered.TornBytes,
+	durable := false
+	for _, sh := range s.shards {
+		st := shardStatus{Shard: sh.idx,
+			Jobs:   int(sh.nJobs.Load()),
+			Agents: int(sh.nAgents.Load())}
+		out.Jobs += st.Jobs
+		out.Agents += st.Agents
+		sh.mu.Lock()
+		if d := sh.store; d != nil {
+			st.Durable = &durableStatus{
+				StateDir:           d.dir,
+				WALRecords:         d.wal.Records(),
+				WALBytes:           d.wal.Bytes(),
+				HasSnapshot:        d.hadSnapshot,
+				SnapshotAgeSec:     now.Sub(d.snapTime).Seconds(),
+				Compactions:        d.compactions,
+				RecoveredRecords:   d.recovered.Records,
+				RecoveredTornBytes: d.recovered.TornBytes,
+			}
+			durable = true
 		}
+		sh.mu.Unlock()
+		out.ByShard = append(out.ByShard, st)
 	}
-	s.mu.Unlock()
+	if durable {
+		agg := &durableStatus{StateDir: s.opts.StateDir}
+		for _, st := range out.ByShard {
+			if st.Durable == nil {
+				continue
+			}
+			agg.WALRecords += st.Durable.WALRecords
+			agg.WALBytes += st.Durable.WALBytes
+			agg.HasSnapshot = agg.HasSnapshot || st.Durable.HasSnapshot
+			if st.Durable.SnapshotAgeSec > agg.SnapshotAgeSec {
+				agg.SnapshotAgeSec = st.Durable.SnapshotAgeSec
+			}
+			agg.Compactions += st.Durable.Compactions
+			agg.RecoveredRecords += st.Durable.RecoveredRecords
+			agg.RecoveredTornBytes += st.Durable.RecoveredTornBytes
+		}
+		out.Durable = agg
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -738,16 +813,6 @@ func (s *Server) handlePackingModel(w http.ResponseWriter, r *http.Request) {
 	for i, name := range s.analyzer.FeatureNames() {
 		fmt.Fprintf(w, "importance %-36s %.3f\n", name, imp[i])
 	}
-}
-
-func (s *Server) snapshotLocked() []*jobState {
-	out := make([]*jobState, 0, len(s.jobs))
-	for _, js := range s.jobs {
-		cp := *js
-		out = append(out, &cp)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -1,0 +1,233 @@
+package lucidd
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dtrace"
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+// shard is one tenant-scoped state machine: its own job table, agent table,
+// duration-estimator clone, mutex and (when durability is on) its own WAL and
+// snapshot under <state-dir>/shard-<idx>/. Every mutating request touches
+// exactly one shard, so the paper's 15–20 VCs never serialize on a shared
+// lock: a heartbeat for Venus VC "vc3" and a sample for Saturn VC "vc17"
+// proceed independently. The routing front door (Server.shardFor) maps a VC
+// name onto a shard by stable hash; with Shards >= the number of VCs each VC
+// effectively owns a shard, and Shards=1 reproduces the old single-mutex
+// server exactly.
+//
+// Lock discipline: a request path may hold AT MOST ONE shard mutex at a time.
+// Fan-out reads (/jobs, /schedule, /agents without ?vc=) visit shards
+// sequentially — lock, copy, unlock, next — so a stalled shard delays only
+// requests that need it, never a sibling's mutating path. The population
+// atomics (nJobs, nProfiled, nAgents) exist so read-mostly paths
+// (GET /metrics, /statusz counts) can observe the shard without its lock.
+type shard struct {
+	idx int
+	srv *Server
+
+	mu     sync.Mutex
+	jobs   map[int]*jobState
+	agents map[string]*agentState
+	// est is this shard's clone of the shared workload estimator: same
+	// fitted model, private per-job cache, so refreshLocked never crosses
+	// shard boundaries. Estimates are a pure function of the job, so clones
+	// agree bit-for-bit — the shard-parity guarantee.
+	est *core.WorkloadEstimator
+	// store is this shard's durability layer (nil when StateDir is empty).
+	// Its methods are called with mu held, keeping WAL order consistent with
+	// the state mutations the records describe.
+	store *store
+
+	// Population counters published outside mu for lock-free observation:
+	// GET /metrics and the /statusz counts read these without touching the
+	// shard mutex, so a slow or wedged shard can still be observed.
+	nJobs     atomic.Int64
+	nProfiled atomic.Int64
+	nAgents   atomic.Int64
+}
+
+func newShard(idx int, srv *Server) *shard {
+	return &shard{
+		idx:    idx,
+		srv:    srv,
+		jobs:   map[int]*jobState{},
+		agents: map[string]*agentState{},
+		est:    training.est.Clone(),
+	}
+}
+
+// shardFor routes a VC name to its shard: FNV-1a over the name, mod the shard
+// count. The hash is stable across boots — required because each shard
+// recovers its own WAL/snapshot, so a VC must land on the same shard every
+// run (NewServerWith refuses a state dir created with a different count).
+func (s *Server) shardFor(vc string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(vc))
+	return s.shards[int(h.Sum32()%uint32(len(s.shards)))]
+}
+
+// shardOfJob resolves the shard holding a job ID via the front door's
+// routing index (maintained on submit, replay and snapshot load).
+func (s *Server) shardOfJob(id int) (*shard, bool) {
+	v, ok := s.jobShard.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*shard), true
+}
+
+// bumpNextID raises the global ID allocator to at least id (CAS max) —
+// recovery replays per-shard WALs in shard order, and the allocator must end
+// past every ID any shard ever acknowledged.
+func (s *Server) bumpNextID(id int) {
+	for {
+		cur := s.nextID.Load()
+		if int64(id) <= cur || s.nextID.CompareAndSwap(cur, int64(id)) {
+			return
+		}
+	}
+}
+
+// applyJobLocked installs a registered job (live submit and WAL replay share
+// this path) and recomputes its derived fields.
+func (sh *shard) applyJobLocked(js *jobState) {
+	js.Score = workload.Jumbo.String()
+	sh.jobs[js.ID] = js
+	sh.srv.jobShard.Store(js.ID, sh)
+	sh.srv.bumpNextID(js.ID)
+	sh.refreshLocked(js)
+	sh.nJobs.Store(int64(len(sh.jobs)))
+}
+
+// dropJobLocked rolls back a submit whose WAL append failed: the client got
+// an error, so the job must not exist. The allocated ID is not reused — a
+// gap is harmless, a reused ID is not.
+func (sh *shard) dropJobLocked(id int) {
+	delete(sh.jobs, id)
+	sh.srv.jobShard.Delete(id)
+	sh.nJobs.Store(int64(len(sh.jobs)))
+}
+
+// applySampleLocked folds one NVIDIA-SMI-style sample into the job's running
+// mean — what a DCGM poller would maintain — and reports whether this sample
+// crossed the profiling threshold.
+func (sh *shard) applySampleLocked(js *jobState, util, memMB, memUtil float64) bool {
+	n := float64(js.Samples)
+	js.Profile.GPUUtil = (js.Profile.GPUUtil*n + util) / (n + 1)
+	js.Profile.GPUMemMB = (js.Profile.GPUMemMB*n + memMB) / (n + 1)
+	js.Profile.GPUMemUtil = (js.Profile.GPUMemUtil*n + memUtil) / (n + 1)
+	js.Samples++
+	sh.refreshLocked(js)
+	crossed := js.Samples == minSamples
+	if crossed {
+		sh.nProfiled.Add(1)
+	}
+	return crossed
+}
+
+// applyAgentLocked registers or heartbeats an agent, reporting whether it was
+// already known.
+func (sh *shard) applyAgentLocked(name, vc string, node int, now time.Time) (agentState, bool) {
+	a, known := sh.agents[name]
+	if !known {
+		a = &agentState{Name: name, VC: vc, Node: node}
+		sh.agents[name] = a
+	}
+	a.VC = vc
+	a.Node = node
+	a.LastSeen = now
+	sh.nAgents.Store(int64(len(sh.agents)))
+	return *a, known
+}
+
+// applyFailJobLocked kills a job: the in-memory profile is lost and the job
+// re-enters the system unprofiled, scored by the conservative Jumbo prior
+// until fresh samples arrive — mirroring the simulator's
+// requeue-through-profiler path.
+func (sh *shard) applyFailJobLocked(js *jobState) {
+	if js.Samples >= minSamples {
+		sh.nProfiled.Add(-1)
+	}
+	js.Restarts++
+	js.Samples = 0
+	js.Profile = profile{}
+	sh.refreshLocked(js)
+}
+
+// refreshLocked recomputes score and estimate from the current state.
+func (sh *shard) refreshLocked(js *jobState) {
+	j := job.New(js.ID, js.Name, js.User, js.VC, js.GPUs, 0, 0, workload.Config{})
+	j.AMP = js.AMP
+	if js.Samples >= minSamples {
+		j.Profiled = true
+		j.Profile = workload.Profile{
+			GPUUtil:    js.Profile.GPUUtil,
+			GPUMemMB:   js.Profile.GPUMemMB,
+			GPUMemUtil: js.Profile.GPUMemUtil,
+			AMP:        js.AMP,
+		}
+	}
+	js.Score = sh.srv.analyzer.ScoreJob(j).String()
+	sh.est.Invalidate(j.ID)
+	js.EstSec = sh.est.EstimateSec(j)
+}
+
+// sweepStaleLocked evicts THIS shard's agents whose last heartbeat predates
+// the staleness window, recording each eviction as a presumed node failure.
+// The sweep is shard-local by construction: it iterates only sh.agents and
+// holds only sh.mu, so a slow sibling shard can neither delay it nor be
+// delayed by it (the satellite-fix contract, regression-tested by
+// TestSlowShardDoesNotBlockSibling).
+func (sh *shard) sweepStaleLocked(now time.Time) {
+	for name, a := range sh.agents {
+		if now.Sub(a.LastSeen) > sh.srv.opts.AgentStaleAfter {
+			delete(sh.agents, name)
+			sh.srv.rec.Record(dtrace.Event{Action: dtrace.ActNodeFail,
+				Reason: "heartbeat-stale", Node: a.Node + 1})
+		}
+	}
+	sh.nAgents.Store(int64(len(sh.agents)))
+}
+
+// snapshotLocked copies the shard's job table, sorted by ID.
+func (sh *shard) snapshotLocked() []*jobState {
+	out := make([]*jobState, 0, len(sh.jobs))
+	for _, js := range sh.jobs {
+		cp := *js
+		out = append(out, &cp)
+	}
+	sortJobsByID(out)
+	return out
+}
+
+// copyJobs locks the shard, copies its jobs, and unlocks — the unit step of
+// every fan-out read. Holding the lock only for the copy keeps fan-out reads
+// from pinning more than one shard at a time.
+func (sh *shard) copyJobs() []*jobState {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.snapshotLocked()
+}
+
+// copyAgents sweeps stale agents and copies the survivors (lock held only for
+// the sweep + copy).
+func (sh *shard) copyAgents(now time.Time) []agentState {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sweepStaleLocked(now)
+	out := make([]agentState, 0, len(sh.agents))
+	for _, a := range sh.agents {
+		out = append(out, *a)
+	}
+	return out
+}

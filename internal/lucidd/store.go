@@ -14,10 +14,14 @@ import (
 
 // Durability layer. When Options.StateDir is set, every mutating request is
 // logged to an append-only WAL (internal/snap framing) after it is applied,
-// and the WAL is periodically compacted into a snapshot envelope. On boot the
-// server loads the snapshot, replays the WAL through the exact same apply
-// functions the HTTP handlers use, and truncates any torn tail — so a
-// SIGKILLed daemon recovers every acknowledged submission.
+// and the WAL is periodically compacted into a snapshot envelope. State is
+// sharded, and so is durability: shard i keeps its WAL and snapshot under
+// <StateDir>/shard-<i>/, appends under its own mutex only, and recovers
+// independently at boot — a torn tail on one shard's WAL never delays or
+// damages a sibling shard's recovery. On boot each shard loads its snapshot,
+// replays its WAL through the exact same apply functions the HTTP handlers
+// use, and truncates any torn tail — so a SIGKILLed daemon recovers every
+// acknowledged submission on every shard.
 //
 // Durability classes:
 //
@@ -37,9 +41,9 @@ const (
 	walFileName  = "wal.log"
 	// snapKind is the envelope kind for lucidd state snapshots.
 	snapKind = "lucidd-state"
-	// defaultCompactEvery bounds WAL growth: once this many records
-	// accumulate past the last snapshot, the state is re-snapshotted and the
-	// WAL reset.
+	// defaultCompactEvery bounds per-shard WAL growth: once this many
+	// records accumulate past the last snapshot, the shard is
+	// re-snapshotted and its WAL reset.
 	defaultCompactEvery = 1024
 )
 
@@ -53,7 +57,7 @@ type walOp struct {
 	ID   int    `json:"id,omitempty"`
 	Name string `json:"name,omitempty"` // job name, or agent name for agent ops
 	User string `json:"user,omitempty"`
-	VC   string `json:"vc,omitempty"`
+	VC   string `json:"vc,omitempty"` // job VC, or agent VC for agent ops
 	GPUs int    `json:"gpus,omitempty"`
 	AMP  bool   `json:"amp,omitempty"`
 
@@ -85,19 +89,22 @@ type persistedJob struct {
 // persistedAgent is an agentState with the heartbeat as unix nanos.
 type persistedAgent struct {
 	Name     string `json:"name"`
+	VC       string `json:"vc,omitempty"`
 	Node     int    `json:"node"`
 	UnixNano int64  `json:"unix_nano"`
 }
 
-// serverSnap is the snapshot payload: the full durable state at compaction.
-type serverSnap struct {
+// shardSnap is the snapshot payload: one shard's full durable state at
+// compaction. NextID records the global allocator's high-water mark as seen
+// at snapshot time, so a boot never re-issues an ID any shard handed out.
+type shardSnap struct {
 	NextID int              `json:"next_id"`
 	Jobs   []persistedJob   `json:"jobs"`
 	Agents []persistedAgent `json:"agents"`
 }
 
-// store binds the server to its state directory. All methods are called with
-// the server's mu held, which also serializes WAL appends with the state
+// store binds one shard to its state directory. All methods are called with
+// the shard's mu held, which also serializes WAL appends with the state
 // mutations they describe.
 type store struct {
 	dir          string
@@ -109,13 +116,58 @@ type store struct {
 	hadSnapshot  bool
 }
 
-// openStore loads the snapshot (if any), replays the WAL, and leaves the
-// server ready to log. Called from NewServerWith before the server is shared.
-func (s *Server) openStore(dir string) error {
+// shardDirName returns the per-shard state subdirectory name.
+func shardDirName(idx int) string { return fmt.Sprintf("shard-%d", idx) }
+
+// openStores prepares the sharded state directory and recovers every shard.
+// A state dir is bound to the shard count that created it: VC→shard routing
+// is a hash mod the count, so booting the same directory with a different
+// count would silently misroute recovered tenants — refuse instead.
+func (s *Server) openStores(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("lucidd: state dir: %w", err)
 	}
-	st := &store{dir: dir, compactEvery: s.opts.CompactEvery, snapTime: s.opts.Clock()}
+	existing := 0
+	for {
+		if _, err := os.Stat(filepath.Join(dir, shardDirName(existing))); err != nil {
+			break
+		}
+		existing++
+	}
+	if existing > 0 && existing != len(s.shards) {
+		return fmt.Errorf("lucidd: state dir %s holds %d shard(s) but -shards is %d; "+
+			"a state dir is bound to the shard count that created it", dir, existing, len(s.shards))
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.openStore(filepath.Join(dir, shardDirName(sh.idx)))
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("lucidd: shard %d: %w", sh.idx, err)
+		}
+	}
+	// Publish aggregate recovery stats to the metrics registry.
+	records, torn, _ := s.Recovery()
+	fromSnap := 0
+	for _, r := range s.ShardRecoveries() {
+		if r.FromSnapshot {
+			fromSnap++
+		}
+	}
+	s.met.recRecords.Set(float64(records))
+	s.met.recTorn.Set(float64(torn))
+	s.met.recSnap.Set(float64(fromSnap))
+	return nil
+}
+
+// openStore loads this shard's snapshot (if any), replays its WAL, and
+// leaves the shard ready to log. Called with sh.mu held from openStores,
+// before the server is shared.
+func (sh *shard) openStore(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("state dir: %w", err)
+	}
+	st := &store{dir: dir, compactEvery: sh.srv.opts.CompactEvery, snapTime: sh.srv.opts.Clock()}
 	if st.compactEvery <= 0 {
 		st.compactEvery = defaultCompactEvery
 	}
@@ -124,19 +176,19 @@ func (s *Server) openStore(dir string) error {
 	if raw, err := os.ReadFile(snapPath); err == nil {
 		kind, payload, rerr := snap.ReadEnvelope(bytes.NewReader(raw))
 		if rerr != nil {
-			return fmt.Errorf("lucidd: read snapshot %s: %w", snapPath, rerr)
+			return fmt.Errorf("read snapshot %s: %w", snapPath, rerr)
 		}
 		if kind != snapKind {
-			return fmt.Errorf("lucidd: snapshot %s has kind %q, want %q", snapPath, kind, snapKind)
+			return fmt.Errorf("snapshot %s has kind %q, want %q", snapPath, kind, snapKind)
 		}
-		var ss serverSnap
+		var ss shardSnap
 		if jerr := json.Unmarshal(payload, &ss); jerr != nil {
-			return fmt.Errorf("lucidd: decode snapshot: %w", jerr)
+			return fmt.Errorf("decode snapshot: %w", jerr)
 		}
-		s.loadSnapLocked(ss)
+		sh.loadSnapLocked(ss)
 		st.hadSnapshot = true
 	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("lucidd: read snapshot: %w", err)
+		return fmt.Errorf("read snapshot: %w", err)
 	}
 
 	wal, stats, err := snap.OpenWAL(filepath.Join(dir, walFileName), func(payload []byte) error {
@@ -144,119 +196,119 @@ func (s *Server) openStore(dir string) error {
 		if jerr := json.Unmarshal(payload, &op); jerr != nil {
 			return fmt.Errorf("decode wal op: %w", jerr)
 		}
-		s.applyOpLocked(op)
+		sh.applyOpLocked(op)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	wal.OnSync = func(d time.Duration) { s.met.walFsync.Observe(d.Seconds()) }
+	wal.OnSync = func(d time.Duration) { sh.srv.met.walFsync.Observe(d.Seconds()) }
 	st.wal = wal
 	st.recovered = stats
-	s.store = st
-	s.met.recRecords.Set(float64(stats.Records))
-	s.met.recTorn.Set(float64(stats.TornBytes))
-	if st.hadSnapshot {
-		s.met.recSnap.Set(1)
-	}
+	sh.store = st
 	return nil
 }
 
-// loadSnapLocked overwrites the server state from a snapshot payload,
+// loadSnapLocked overwrites the shard state from a snapshot payload,
 // recomputing the derived score/estimate fields.
-func (s *Server) loadSnapLocked(ss serverSnap) {
-	s.nextID = ss.NextID
-	if s.nextID < 1 {
-		s.nextID = 1
-	}
-	s.jobs = make(map[int]*jobState, len(ss.Jobs))
+func (sh *shard) loadSnapLocked(ss shardSnap) {
+	sh.srv.bumpNextID(ss.NextID - 1)
+	sh.jobs = make(map[int]*jobState, len(ss.Jobs))
+	profiled := 0
 	for _, pj := range ss.Jobs {
 		js := &jobState{ID: pj.ID, Name: pj.Name, User: pj.User, VC: pj.VC,
 			GPUs: pj.GPUs, AMP: pj.AMP, Samples: pj.Samples, Profile: pj.Profile,
 			Restarts: pj.Restarts}
-		s.jobs[js.ID] = js
-		s.refreshLocked(js)
-		if js.ID >= s.nextID {
-			s.nextID = js.ID + 1
+		sh.jobs[js.ID] = js
+		sh.srv.jobShard.Store(js.ID, sh)
+		sh.srv.bumpNextID(js.ID)
+		sh.refreshLocked(js)
+		if js.Samples >= minSamples {
+			profiled++
 		}
 	}
-	s.agents = make(map[string]*agentState, len(ss.Agents))
+	sh.agents = make(map[string]*agentState, len(ss.Agents))
 	for _, pa := range ss.Agents {
-		s.agents[pa.Name] = &agentState{Name: pa.Name, Node: pa.Node,
+		sh.agents[pa.Name] = &agentState{Name: pa.Name, VC: pa.VC, Node: pa.Node,
 			LastSeen: time.Unix(0, pa.UnixNano)}
 	}
+	sh.nJobs.Store(int64(len(sh.jobs)))
+	sh.nProfiled.Store(int64(profiled))
+	sh.nAgents.Store(int64(len(sh.agents)))
 }
 
 // applyOpLocked replays one WAL op through the same mutation paths the
 // handlers use. Replay is lenient about dangling references (a metrics op for
 // a job evicted by a later compaction cannot happen — the WAL resets at every
 // snapshot — but leniency costs nothing and keeps recovery total).
-func (s *Server) applyOpLocked(op walOp) {
+func (sh *shard) applyOpLocked(op walOp) {
 	switch op.Op {
 	case "job":
 		js := &jobState{ID: op.ID, Name: op.Name, User: op.User, VC: op.VC,
 			GPUs: op.GPUs, AMP: op.AMP}
-		s.applyJobLocked(js)
+		sh.applyJobLocked(js)
 	case "metrics":
-		if js, ok := s.jobs[op.ID]; ok {
-			s.applySampleLocked(js, op.GPUUtil, op.GPUMemMB, op.GPUMemUtil)
+		if js, ok := sh.jobs[op.ID]; ok {
+			sh.applySampleLocked(js, op.GPUUtil, op.GPUMemMB, op.GPUMemUtil)
 		}
 	case "agent":
-		s.applyAgentLocked(op.Name, op.Node, time.Unix(0, op.UnixNano))
+		sh.applyAgentLocked(op.Name, op.VC, op.Node, time.Unix(0, op.UnixNano))
 	case "evict-agent":
-		delete(s.agents, op.Name)
+		delete(sh.agents, op.Name)
+		sh.nAgents.Store(int64(len(sh.agents)))
 	case "fail-job":
-		if js, ok := s.jobs[op.ID]; ok {
-			s.applyFailJobLocked(js)
+		if js, ok := sh.jobs[op.ID]; ok {
+			sh.applyFailJobLocked(js)
 		}
 	}
 }
 
-// logOpLocked appends op to the WAL (if durability is on). sync forces an
-// inline fsync — used for ops that must survive a crash once acknowledged.
-// After the append it compacts if the WAL has outgrown the threshold.
-func (s *Server) logOpLocked(op walOp, sync bool) error {
-	if s.store == nil {
+// logOpLocked appends op to this shard's WAL (if durability is on). sync
+// forces an inline fsync — used for ops that must survive a crash once
+// acknowledged. After the append it compacts if the WAL has outgrown the
+// threshold.
+func (sh *shard) logOpLocked(op walOp, sync bool) error {
+	if sh.store == nil {
 		return nil
 	}
 	payload, err := json.Marshal(op)
 	if err != nil {
 		return fmt.Errorf("lucidd: encode wal op: %w", err)
 	}
-	t := s.met.reg.StartTimer(s.met.walAppend)
-	err = s.store.wal.Append(payload, sync)
+	t := sh.srv.met.reg.StartTimer(sh.srv.met.walAppend)
+	err = sh.store.wal.Append(payload, sync)
 	t.Stop()
 	if err != nil {
 		return err
 	}
-	if s.store.wal.Records() >= s.store.compactEvery {
-		if err := s.compactLocked(); err != nil {
+	if sh.store.wal.Records() >= sh.store.compactEvery {
+		if err := sh.compactLocked(); err != nil {
 			return err
 		}
-		s.store.compactions++
+		sh.store.compactions++
 	}
 	return nil
 }
 
-// compactLocked writes a fresh snapshot (atomic tmp+rename) and resets the
-// WAL. On any error the old snapshot and WAL are left intact — recovery
-// simply replays a longer log.
-func (s *Server) compactLocked() error {
-	if s.store == nil {
+// compactLocked writes a fresh shard snapshot (atomic tmp+rename) and resets
+// the shard's WAL. On any error the old snapshot and WAL are left intact —
+// recovery simply replays a longer log.
+func (sh *shard) compactLocked() error {
+	if sh.store == nil {
 		return nil
 	}
-	t := s.met.reg.StartTimer(s.met.snapshot)
+	t := sh.srv.met.reg.StartTimer(sh.srv.met.snapshot)
 	defer t.Stop()
-	ss := serverSnap{NextID: s.nextID}
-	for _, js := range s.snapshotLocked() {
+	ss := shardSnap{NextID: int(sh.srv.nextID.Load()) + 1}
+	for _, js := range sh.snapshotLocked() {
 		ss.Jobs = append(ss.Jobs, persistedJob{ID: js.ID, Name: js.Name,
 			User: js.User, VC: js.VC, GPUs: js.GPUs, AMP: js.AMP,
 			Samples: js.Samples, Profile: js.Profile, Restarts: js.Restarts})
 	}
-	for _, name := range sortedAgentNames(s.agents) {
-		a := s.agents[name]
-		ss.Agents = append(ss.Agents, persistedAgent{Name: a.Name, Node: a.Node,
-			UnixNano: a.LastSeen.UnixNano()})
+	for _, name := range sortedAgentNames(sh.agents) {
+		a := sh.agents[name]
+		ss.Agents = append(ss.Agents, persistedAgent{Name: a.Name, VC: a.VC,
+			Node: a.Node, UnixNano: a.LastSeen.UnixNano()})
 	}
 	payload, err := json.Marshal(ss)
 	if err != nil {
@@ -266,7 +318,7 @@ func (s *Server) compactLocked() error {
 	if err := snap.WriteEnvelope(&buf, snapKind, payload); err != nil {
 		return err
 	}
-	final := filepath.Join(s.store.dir, snapFileName)
+	final := filepath.Join(sh.store.dir, snapFileName)
 	tmp := final + ".tmp"
 	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
 		return fmt.Errorf("lucidd: write snapshot: %w", err)
@@ -274,23 +326,24 @@ func (s *Server) compactLocked() error {
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("lucidd: install snapshot: %w", err)
 	}
-	if err := s.store.wal.Reset(); err != nil {
+	if err := sh.store.wal.Reset(); err != nil {
 		return fmt.Errorf("lucidd: reset wal after compaction: %w", err)
 	}
-	s.store.snapTime = s.opts.Clock()
-	s.store.hadSnapshot = true
-	s.met.compacts.Inc()
+	sh.store.snapTime = sh.srv.opts.Clock()
+	sh.store.hadSnapshot = true
+	sh.srv.met.compacts.Inc()
 	return nil
 }
 
-// closeStoreLocked snapshots once more (so restart replays nothing) and
-// closes the WAL. Called from Shutdown after the drain completes.
-func (s *Server) closeStoreLocked() error {
-	if s.store == nil {
+// closeStoreLocked snapshots this shard once more (so restart replays
+// nothing) and closes its WAL. Called from Shutdown after the drain
+// completes.
+func (sh *shard) closeStoreLocked() error {
+	if sh.store == nil {
 		return nil
 	}
-	err := s.compactLocked()
-	if cerr := s.store.wal.Close(); err == nil {
+	err := sh.compactLocked()
+	if cerr := sh.store.wal.Close(); err == nil {
 		err = cerr
 	}
 	return err

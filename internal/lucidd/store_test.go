@@ -116,7 +116,7 @@ func TestRecoverTornTail(t *testing.T) {
 	}
 	want := jobsBody(t, s1)
 
-	walPath := filepath.Join(dir, walFileName)
+	walPath := filepath.Join(dir, shardDirName(0), walFileName)
 	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
