@@ -1,11 +1,14 @@
 // Command lucidbench regenerates every table and figure of the Lucid
 // paper's evaluation section from this repository's substrates. Each
-// experiment is addressable by id; -exp all runs the full suite.
+// experiment is addressable by id; -exp all runs the full suite except the
+// benchmarks flagged as excluded (run those by id). -list and -help
+// enumerate every registered experiment.
 //
 // Usage:
 //
 //	lucidbench -exp tab4 -scale 0.2
 //	lucidbench -exp all -scale 0.1 -parallel 8
+//	lucidbench -exp evolve -scale 0.05 -evolve-spec strategy=evo,seed=1
 //	lucidbench -list
 //
 // Independent simulation runs within each experiment fan out across a
@@ -22,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/evolve"
 	"repro/internal/lab"
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -31,6 +35,13 @@ import (
 type experiment struct {
 	id, desc string
 	run      func(scale float64) (string, error)
+}
+
+// excludedFromAll keeps an experiment out of -exp all (it still runs when
+// named by id) and documents why in -list/-help output.
+var excludedFromAll = map[string]string{
+	"scale":  "wall-clock benchmark with deliberately slow tick-engine baselines, not a paper artifact",
+	"evolve": "multi-generation search over full suite runs; orders of magnitude costlier than one experiment",
 }
 
 func experiments() []experiment {
@@ -101,7 +112,32 @@ func experiments() []experiment {
 		{"figr", "goodput & JCT under failure-rate sweep (chaos extension)", lab.FigR},
 		{"warmstart", "warm-started what-if sweep via in-memory world forks", lab.WarmStartStudy},
 		{"scale", "tick vs event engine wall-clock + 10k-GPU/1M-job run (writes BENCH_scale.json)", lab.BenchScale},
+		{"evolve", "closed-loop knob tuning against the simulator (writes BENCH_evolve.json)", func(scale float64) (string, error) {
+			return evolve.Bench(*evolveSpec, scale, *evolveCheckpoint)
+		}},
 	}
+}
+
+// evolve-specific flags (read by the evolve experiment's runner, which is
+// built in experiments() after flag.Parse).
+var (
+	evolveSpec = flag.String("evolve-spec", "default",
+		"evolve search spec, comma-separated key=value (strategy=evo|coord, seed, pop, gens, budget, worlds=venus+saturn+philly, chaos=0+1); 'default' = "+evolve.DefaultSpec().String())
+	evolveCheckpoint = flag.String("evolve-checkpoint", "",
+		"evolve: snap-envelope checkpoint path, written after every search step and resumed from when the file already exists")
+)
+
+// listExperiments enumerates every registered experiment (the -list and
+// -help body), flagging the ones -exp all skips and why.
+func listExperiments() string {
+	var sb strings.Builder
+	for _, e := range experiments() {
+		fmt.Fprintf(&sb, "  %-8s %s\n", e.id, e.desc)
+		if why := excludedFromAll[e.id]; why != "" {
+			fmt.Fprintf(&sb, "  %-8s   excluded from -exp all: %s\n", "", why)
+		}
+	}
+	return sb.String()
 }
 
 func allSpecs() []trace.GenSpec {
@@ -159,14 +195,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids")
 	metricsOut := flag.String("metrics-out", "", "write suite metrics (per-experiment wall-clock, world-cache stats) to this path in Prometheus text format")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage: lucidbench [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nExperiments (-exp id, comma-separated for several):\n%s", listExperiments())
+	}
 	flag.Parse()
 
 	lab.SetParallelism(*parallel)
 	exps := experiments()
 	if *list {
-		for _, e := range exps {
-			fmt.Printf("%-8s %s\n", e.id, e.desc)
-		}
+		fmt.Print(listExperiments())
 		return
 	}
 
@@ -187,10 +226,8 @@ func main() {
 	ran := 0
 	suiteStart := time.Now()
 	for _, e := range exps {
-		if !want[e.id] && !(want["all"] && e.id != "scale") {
-			// scale is a wall-clock benchmark, not a paper artifact; its
-			// tick-engine baselines at fine resolution are deliberately slow,
-			// so it only runs when asked for by id.
+		// Experiments in excludedFromAll only run when asked for by id.
+		if !want[e.id] && !(want["all"] && excludedFromAll[e.id] == "") {
 			continue
 		}
 		ran++

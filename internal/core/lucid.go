@@ -128,16 +128,16 @@ type Lucid struct {
 	modelsDirty bool
 }
 
-// New assembles Lucid from trained models and a config.
+// New assembles Lucid from trained models and a config. Zero-valued knobs
+// are filled with their paper defaults (Normalized); an out-of-range knob —
+// a negative budget, thresholds outside (0,1] — is a programming error in
+// the caller and panics with Validate's named-field message. Callers
+// constructing configs from external input (flags, search vectors) should
+// run cfg.Normalized().Validate() themselves first.
 func New(models *Models, cfg Config) *Lucid {
-	if cfg.TprofSec <= 0 {
-		cfg.TprofSec = 200
-	}
-	if cfg.Nprof <= 0 {
-		cfg.Nprof = 8
-	}
-	if cfg.GSS <= 0 {
-		cfg.GSS = 2
+	cfg = cfg.Normalized()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	p := NewProfiler()
 	p.TprofSec = cfg.TprofSec

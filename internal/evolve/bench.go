@@ -1,0 +1,143 @@
+package evolve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// The -exp evolve benchmark: run a search to completion, explain the winner,
+// and verify the tuned config head-to-head against paper-default Lucid on the
+// suite. Results are emitted both as a text report and as BENCH_evolve.json
+// for CI artifact archiving; the CI smoke gate greps the JSON for
+// `"tuned_no_worse": true` — a tuned config that loses to the defaults it
+// started from fails the build.
+
+// BenchFile is where Bench writes its JSON artifact.
+const BenchFile = "BENCH_evolve.json"
+
+// EvolveBench is the full benchmark result (the BENCH_evolve.json schema).
+type EvolveBench struct {
+	Spec        string  `json:"spec"`
+	Scale       float64 `json:"scale"`
+	GeneratedAt string  `json:"generated_at"`
+	Evals       int     `json:"evals"`
+	WallSec     float64 `json:"wall_sec"`
+
+	// Default is paper-default Lucid on the suite (Score 1 by construction);
+	// Tuned is the search winner on the identical cells.
+	Default Fitness `json:"default"`
+	Tuned   Fitness `json:"tuned"`
+
+	BestGenome string `json:"best_genome"`
+	// TunedBeatsDefault is the headline claim: strictly better composite
+	// score AND strictly better suite avg JCT (the Table 4 metric) than the
+	// paper defaults. TunedNoWorse is the CI gate: at least a score tie (the
+	// default genome is in the initial population, so anything worse means
+	// the search is broken).
+	TunedBeatsDefault bool `json:"tuned_beats_default"`
+	TunedNoWorse      bool `json:"tuned_no_worse"`
+
+	Explanation *Explanation `json:"explanation,omitempty"`
+	Log         []string     `json:"log,omitempty"`
+}
+
+// Bench runs the full closed loop for a search spec: evaluate, search,
+// explain, verify, archive. checkpointPath, when non-empty, receives a snap
+// envelope after every search step (and is resumed from if it already holds
+// a matching checkpoint).
+func Bench(specText string, scale float64, checkpointPath string) (string, error) {
+	spec, err := ParseSpec(specText)
+	if err != nil {
+		return "", err
+	}
+	t0 := time.Now()
+	ev, err := NewEvaluator(spec.Worlds, spec.ChaosMults, scale)
+	if err != nil {
+		return "", err
+	}
+
+	var s *Search
+	if checkpointPath != "" {
+		if data, rerr := os.ReadFile(checkpointPath); rerr == nil {
+			if s, err = LoadSearch(data, spec, ev); err != nil {
+				return "", fmt.Errorf("evolve: resume %s: %w", checkpointPath, err)
+			}
+		}
+	}
+	if s == nil {
+		s = NewSearch(spec, ev)
+	}
+	if err := s.Run(checkpointPath); err != nil {
+		return "", err
+	}
+
+	ex, err := Explain(s.Best, s.BestFit, ev)
+	if err != nil {
+		return "", err
+	}
+
+	bench := &EvolveBench{
+		Spec:              spec.String(),
+		Scale:             scale,
+		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+		Evals:             s.Evals,
+		WallSec:           time.Since(t0).Seconds(),
+		Default:           ev.Baseline(),
+		Tuned:             s.BestFit,
+		BestGenome:        s.Best.String(),
+		TunedBeatsDefault: s.BestFit.Score < ev.Baseline().Score && s.BestFit.AvgJCTHours < ev.Baseline().AvgJCTHours,
+		TunedNoWorse:      s.BestFit.Score <= ev.Baseline().Score,
+		Explanation:       ex,
+		Log:               s.Log,
+	}
+	raw, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(BenchFile, append(raw, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return renderEvolveBench(bench), nil
+}
+
+func renderEvolveBench(b *EvolveBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Evolve: closed-loop knob tuning against the simulator\n")
+	fmt.Fprintf(&sb, "spec: %s  scale: %g  evals: %d  wall: %.1fs\n\n", b.Spec, b.Scale, b.Evals, b.WallSec)
+
+	fmt.Fprintf(&sb, "%-10s %10s %12s %14s %14s %10s\n", "config", "score", "avgJCT(h)", "avgQueue(h)", "p999Queue(h)", "goodput%")
+	row := func(name string, f Fitness) {
+		fmt.Fprintf(&sb, "%-10s %10.5f %12.3f %14.3f %14.3f %10.2f\n",
+			name, f.Score, f.AvgJCTHours, f.AvgQueueHours, f.P999QueueHours, f.GoodputPct)
+	}
+	row("default", b.Default)
+	row("tuned", b.Tuned)
+	sb.WriteString("\nper-cell (world × chaos-mult):\n")
+	fmt.Fprintf(&sb, "  %-8s %6s %14s %14s %16s %16s\n", "world", "chaos", "def JCT(h)", "tuned JCT(h)", "def queue(h)", "tuned queue(h)")
+	for i, dc := range b.Default.Cells {
+		tc := b.Tuned.Cells[i]
+		fmt.Fprintf(&sb, "  %-8s %6g %14.3f %14.3f %16.3f %16.3f\n",
+			dc.World, dc.ChaosMult, dc.AvgJCTSec/3600, tc.AvgJCTSec/3600, dc.AvgQueueSec/3600, tc.AvgQueueSec/3600)
+	}
+	sb.WriteString("\n")
+	switch {
+	case b.TunedBeatsDefault:
+		fmt.Fprintf(&sb, "verdict: tuned beats default (score %.5f < 1, avg JCT %.3fh < %.3fh)\n\n",
+			b.Tuned.Score, b.Tuned.AvgJCTHours, b.Default.AvgJCTHours)
+	case b.TunedNoWorse && b.Tuned.Score < b.Default.Score:
+		fmt.Fprintf(&sb, "verdict: tuned wins on composite score (%.5f < 1) but not on avg JCT (%.3fh vs %.3fh)\n\n",
+			b.Tuned.Score, b.Tuned.AvgJCTHours, b.Default.AvgJCTHours)
+	case b.TunedNoWorse:
+		sb.WriteString("verdict: tuned ties default (explicit tie — search found nothing better)\n\n")
+	default:
+		sb.WriteString("verdict: TUNED LOST TO DEFAULT — search regression\n\n")
+	}
+	if b.Explanation != nil {
+		sb.WriteString(b.Explanation.Render())
+	}
+	fmt.Fprintf(&sb, "\nartifact: %s\n", BenchFile)
+	return sb.String()
+}

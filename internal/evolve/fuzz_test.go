@@ -1,0 +1,46 @@
+package evolve
+
+import "testing"
+
+// FuzzParseGenomeSpec hammers the genome spec parser with arbitrary input.
+// Properties: ParseGenomeSpec never panics; any genome it accepts validates
+// clean (in particular, every gene is inside its declared bounds — the
+// parser rejects, never clamps) and survives a String → ParseGenomeSpec
+// round trip unchanged (the canonical-form contract checkpoints rely on).
+func FuzzParseGenomeSpec(f *testing.F) {
+	f.Add("")
+	f.Add("default")
+	f.Add("tprof=120,gss=3,aging=0.5")
+	f.Add("tprof=30,nprof=1,gss=2,medium=0.85,tiny=0.95,update=604800,aging=0,fastjob=7200")
+	f.Add("medium=0.5,tiny=1")
+	f.Add("medium=0.97,tiny=0.9")
+	f.Add("tprof=200.5")
+	f.Add("tprof=-1")
+	f.Add("update=2419200")
+	f.Add("aging=1e300")
+	f.Add("fastjob=NaN")
+	f.Add(",,,")
+	f.Add("tprof==3")
+	f.Add("tprof=1,tprof=900")
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := ParseGenomeSpec(text)
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ParseGenomeSpec(%q) accepted an invalid genome: %v", text, verr)
+		}
+		for i, d := range Genes {
+			if g[i] < d.Min || g[i] > d.Max {
+				t.Fatalf("ParseGenomeSpec(%q): gene %s=%g escaped [%g,%g]", text, d.Key, g[i], d.Min, d.Max)
+			}
+		}
+		again, err := ParseGenomeSpec(g.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", g.String(), err)
+		}
+		if again != g {
+			t.Fatalf("round trip diverged: %s != %s (via %q)", again, g, g.String())
+		}
+	})
+}

@@ -1,0 +1,599 @@
+package evolve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/snap"
+	"repro/internal/xrand"
+)
+
+// The search layer walks the genome box with two deterministic, seedable
+// strategies:
+//
+//   - "evo": a (μ+λ)-style population search — elitism, tournament
+//     selection, uniform crossover, Gaussian mutation — whose every random
+//     draw comes from a stream derived statelessly from (seed, generation,
+//     individual), so breeding order and worker interleaving cannot change
+//     the trajectory;
+//   - "coord": coordinate descent over one knob at a time (a grid of
+//     candidates per gene, keep the best), the cheap interpretable baseline
+//     the evolutionary strategy must beat to justify its budget.
+//
+// Both strategies advance in discrete Steps and serialize their complete
+// state into an internal/snap envelope after each one, so a long search
+// survives interruption: resuming from a checkpoint replays the exact
+// trajectory an uninterrupted run would have taken (byte-identical log and
+// best genome — the snapshot/resume test locks this in).
+
+// Strategy names.
+const (
+	StrategyEvo   = "evo"
+	StrategyCoord = "coord"
+)
+
+// Spec configures one search: strategy, seed, budget and the fitness suite.
+type Spec struct {
+	Strategy string
+	// Seed keys every random draw of the search.
+	Seed uint64
+	// Pop is the population size (evo) or the per-gene candidate count
+	// (coord).
+	Pop int
+	// Gens bounds the generations (evo) or full passes over the genes
+	// (coord).
+	Gens int
+	// Budget soft-caps fitness evaluations: the search stops at the first
+	// step boundary at or past it (0 = unlimited). Counted per evaluated
+	// population slot — a pure function of the trajectory, so budget stops
+	// are identical across serial, parallel and resumed runs.
+	Budget int
+	// Worlds and ChaosMults define the fitness suite (see fitness.go).
+	Worlds     []string
+	ChaosMults []float64
+}
+
+// DefaultSpec is the committed-benchmark search: the full Table 4 world set,
+// clean and at the calibrated fault rates, under a compact evolutionary
+// budget.
+func DefaultSpec() Spec {
+	return Spec{
+		Strategy:   StrategyEvo,
+		Seed:       1,
+		Pop:        8,
+		Gens:       8,
+		Budget:     0,
+		Worlds:     []string{"venus", "saturn", "philly"},
+		ChaosMults: []float64{0, 1},
+	}
+}
+
+// Validate reports the first bad field, or nil.
+func (s Spec) Validate() error {
+	switch {
+	case s.Strategy != StrategyEvo && s.Strategy != StrategyCoord:
+		return fmt.Errorf("evolve: unknown strategy %q (want %s or %s)", s.Strategy, StrategyEvo, StrategyCoord)
+	case s.Pop < 2:
+		return fmt.Errorf("evolve: pop %d < 2", s.Pop)
+	case s.Gens < 1:
+		return fmt.Errorf("evolve: gens %d < 1", s.Gens)
+	case s.Budget < 0:
+		return fmt.Errorf("evolve: budget %d < 0", s.Budget)
+	case len(s.Worlds) == 0:
+		return fmt.Errorf("evolve: no worlds")
+	case len(s.ChaosMults) == 0:
+		return fmt.Errorf("evolve: no chaos levels")
+	}
+	for _, w := range s.Worlds {
+		if _, err := worldSpec(w); err != nil {
+			return err
+		}
+	}
+	for _, m := range s.ChaosMults {
+		if m < 0 || m != m {
+			return fmt.Errorf("evolve: chaos multiplier %g < 0", m)
+		}
+	}
+	return nil
+}
+
+// String renders the spec in the canonical key=value form ParseSpec accepts,
+// omitting nothing, so ParseSpec(s.String()) round-trips exactly.
+func (s Spec) String() string {
+	mults := make([]string, len(s.ChaosMults))
+	for i, m := range s.ChaosMults {
+		mults[i] = ftoa(m)
+	}
+	return fmt.Sprintf("strategy=%s,seed=%d,pop=%d,gens=%d,budget=%d,worlds=%s,chaos=%s",
+		s.Strategy, s.Seed, s.Pop, s.Gens, s.Budget,
+		strings.Join(s.Worlds, "+"), strings.Join(mults, "+"))
+}
+
+// ParseSpec parses a comma-separated key=value search spec, e.g.
+//
+//	"strategy=coord,seed=7,pop=5,gens=3,worlds=venus,chaos=0+1"
+//
+// Unset keys keep their DefaultSpec values; "default" (or "") yields
+// DefaultSpec unchanged. List-valued keys use '+' as the separator.
+func ParseSpec(text string) (Spec, error) {
+	s := DefaultSpec()
+	text = strings.TrimSpace(text)
+	if text == "" || text == "default" {
+		return s, nil
+	}
+	for _, kv := range strings.Split(text, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("evolve: %q is not key=value", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "strategy":
+			s.Strategy = val
+		case "seed":
+			s.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "pop":
+			s.Pop, err = strconv.Atoi(val)
+		case "gens":
+			s.Gens, err = strconv.Atoi(val)
+		case "budget":
+			s.Budget, err = strconv.Atoi(val)
+		case "worlds":
+			s.Worlds, err = splitWorlds(val)
+		case "chaos":
+			s.ChaosMults, err = splitMults(val)
+		default:
+			return Spec{}, fmt.Errorf("evolve: unknown key %q", key)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("evolve: bad value for %s: %v", key, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+func splitWorlds(val string) ([]string, error) {
+	var out []string
+	for _, w := range strings.Split(val, "+") {
+		w = strings.ToLower(strings.TrimSpace(w))
+		if w == "" {
+			continue
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty world list")
+	}
+	return out, nil
+}
+
+func splitMults(val string) ([]float64, error) {
+	var out []float64
+	for _, m := range strings.Split(val, "+") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(m, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty chaos list")
+	}
+	return out, nil
+}
+
+// Search is a resumable optimization run. All exported state is part of the
+// checkpoint; Step advances one generation (evo) or one gene move (coord).
+type Search struct {
+	Spec Spec
+	ev   *Evaluator
+
+	// Gen is the next generation (evo) or completed-pass counter (coord).
+	Gen int
+	// Pop/Fits are the evo population; Fits[i] == nil means not yet
+	// evaluated (elites carry their fitness across generations).
+	Pop  []Genome
+	Fits []*Fitness
+	// Cur/CurFit/GeneCursor/Improved are the coord cursor state.
+	Cur        Genome
+	CurFit     *Fitness
+	GeneCursor int
+	Improved   bool
+
+	Best     Genome
+	BestFit  Fitness
+	haveBest bool
+
+	// Log is the fitness log: one canonical line per evaluated slot, in
+	// (step, slot) order — never completion order.
+	Log   []string
+	Evals int
+	Done  bool
+}
+
+// NewSearch initializes a fresh search over an evaluator built for the same
+// spec suite.
+func NewSearch(spec Spec, ev *Evaluator) *Search {
+	s := &Search{Spec: spec, ev: ev}
+	switch spec.Strategy {
+	case StrategyEvo:
+		s.Pop = make([]Genome, spec.Pop)
+		s.Fits = make([]*Fitness, spec.Pop)
+		// Individual 0 is the paper default — the search must never lose to
+		// it — and the rest scatter uniformly over the box, each from its own
+		// derived stream.
+		s.Pop[0] = DefaultGenome()
+		for i := 1; i < spec.Pop; i++ {
+			s.Pop[i] = randomGenome(rngFor(spec.Seed, 0, i))
+		}
+	case StrategyCoord:
+		s.Cur = DefaultGenome()
+	}
+	return s
+}
+
+// Step runs one unit of search (a generation or a gene move) and reports
+// whether the search is complete.
+func (s *Search) Step() (bool, error) {
+	if s.Done {
+		return true, nil
+	}
+	if s.Spec.Budget > 0 && s.Evals >= s.Spec.Budget {
+		s.Done = true
+		return true, nil
+	}
+	var err error
+	switch s.Spec.Strategy {
+	case StrategyEvo:
+		err = s.stepEvo()
+	case StrategyCoord:
+		err = s.stepCoord()
+	default:
+		err = fmt.Errorf("evolve: unknown strategy %q", s.Spec.Strategy)
+	}
+	if err != nil {
+		return false, err
+	}
+	return s.Done, nil
+}
+
+// Run steps the search to completion, writing a checkpoint after every step
+// when checkpointPath is non-empty.
+func (s *Search) Run(checkpointPath string) error {
+	for {
+		done, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if checkpointPath != "" {
+			if err := s.checkpointFile(checkpointPath); err != nil {
+				return err
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// logLine renders one evaluated slot canonically. %.9g keeps every digit
+// that matters while staying stable across platforms (the floats themselves
+// are deterministic).
+func logLine(step string, idx int, g Genome, f Fitness) string {
+	return fmt.Sprintf("%s idx=%d score=%.9g jct=%.9gh queue=%.9gh p999=%.9gh goodput=%.9g%% genome=%s",
+		step, idx, f.Score, f.AvgJCTHours, f.AvgQueueHours, f.P999QueueHours, f.GoodputPct, g)
+}
+
+// better orders fitnesses with a total, deterministic tiebreak: score, then
+// the canonical genome string.
+func better(ga Genome, fa Fitness, gb Genome, fb Fitness) bool {
+	if fa.Score != fb.Score {
+		return fa.Score < fb.Score
+	}
+	return ga.String() < gb.String()
+}
+
+// noteBest folds one evaluated genome into the incumbent.
+func (s *Search) noteBest(g Genome, f Fitness) {
+	if !s.haveBest || better(g, f, s.Best, s.BestFit) {
+		s.Best, s.BestFit, s.haveBest = g, f, true
+	}
+}
+
+// stepEvo evaluates the current population and breeds the next one.
+func (s *Search) stepEvo() error {
+	// Evaluate every slot that doesn't carry fitness from the previous
+	// generation. Budget counts slots, not cache misses, so accounting is a
+	// pure function of the trajectory (resume-exact).
+	var need []Genome
+	for i, f := range s.Fits {
+		if f == nil {
+			need = append(need, s.Pop[i])
+		}
+	}
+	fits, err := s.ev.EvaluateAll(need)
+	if err != nil {
+		return err
+	}
+	k := 0
+	for i := range s.Fits {
+		if s.Fits[i] == nil {
+			f := fits[k]
+			k++
+			s.Fits[i] = &f
+			s.Evals++
+		}
+		s.Log = append(s.Log, logLine(fmt.Sprintf("gen=%d", s.Gen), i, s.Pop[i], *s.Fits[i]))
+		s.noteBest(s.Pop[i], *s.Fits[i])
+	}
+
+	s.Gen++
+	if s.Gen >= s.Spec.Gens || (s.Spec.Budget > 0 && s.Evals >= s.Spec.Budget) {
+		s.Done = true
+		return nil
+	}
+
+	// Rank by (score, canonical string) — a total order, so the elite set
+	// and tournament outcomes are unambiguous.
+	order := make([]int, len(s.Pop))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return better(s.Pop[order[a]], *s.Fits[order[a]], s.Pop[order[b]], *s.Fits[order[b]])
+	})
+
+	elite := 2
+	if elite > len(s.Pop) {
+		elite = len(s.Pop)
+	}
+	nextPop := make([]Genome, len(s.Pop))
+	nextFits := make([]*Fitness, len(s.Pop))
+	for i := 0; i < elite; i++ {
+		nextPop[i] = s.Pop[order[i]]
+		nextFits[i] = s.Fits[order[i]] // carried fitness: elites are not re-scored
+	}
+	pick := func(rng *xrand.RNG) Genome {
+		// Tournament of two over the ranked population: a uniform pair,
+		// better rank wins.
+		a, b := rng.Intn(len(order)), rng.Intn(len(order))
+		if a > b {
+			a = b
+		}
+		return s.Pop[order[a]]
+	}
+	for i := elite; i < len(s.Pop); i++ {
+		rng := rngFor(s.Spec.Seed, s.Gen, i)
+		child := crossover(rng, pick(rng), pick(rng)).mutate(rng, 0.5, 0.12)
+		nextPop[i] = child
+	}
+	s.Pop, s.Fits = nextPop, nextFits
+	return nil
+}
+
+// geneCandidates builds the coord candidate list for one gene: an even grid
+// of Pop points across its range plus the current value and the paper
+// default, deduplicated in value order, each clamped so only this gene
+// moves (the medium/tiny ordering is preserved by clamping, not swapping).
+func (s *Search) geneCandidates(gene int) []Genome {
+	d := Genes[gene]
+	vals := []float64{s.Cur[gene], d.Default}
+	steps := s.Spec.Pop
+	for k := 0; k < steps; k++ {
+		v := d.Min + (d.Max-d.Min)*float64(k)/float64(steps-1)
+		vals = append(vals, v)
+	}
+	var out []Genome
+	seen := map[float64]bool{}
+	sort.Float64s(vals)
+	for _, v := range vals {
+		if d.Integer {
+			v = float64(int64(v + 0.5))
+		}
+		// Clamp into the ordering constraint instead of letting repair swap
+		// genes: a coord move must change exactly one coordinate.
+		if gene == GeneMedium && v > s.Cur[GeneTiny] {
+			v = s.Cur[GeneTiny]
+		}
+		if gene == GeneTiny && v < s.Cur[GeneMedium] {
+			v = s.Cur[GeneMedium]
+		}
+		if v < d.Min {
+			v = d.Min
+		}
+		if v > d.Max {
+			v = d.Max
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		g := s.Cur
+		g[gene] = v
+		out = append(out, g)
+	}
+	return out
+}
+
+// stepCoord evaluates one gene's candidate grid and moves the cursor.
+func (s *Search) stepCoord() error {
+	if s.CurFit == nil {
+		f, err := s.ev.Evaluate(s.Cur)
+		if err != nil {
+			return err
+		}
+		s.CurFit = &f
+		s.Evals++
+		s.Log = append(s.Log, logLine("pass=0 gene=start", 0, s.Cur, f))
+		s.noteBest(s.Cur, f)
+		return nil
+	}
+
+	gene := s.GeneCursor
+	cands := s.geneCandidates(gene)
+	fits, err := s.ev.EvaluateAll(cands)
+	if err != nil {
+		return err
+	}
+	step := fmt.Sprintf("pass=%d gene=%s", s.Gen, Genes[gene].Key)
+	bestIdx := -1
+	for i, g := range cands {
+		s.Evals++
+		s.Log = append(s.Log, logLine(step, i, g, fits[i]))
+		s.noteBest(g, fits[i])
+		if bestIdx < 0 || better(g, fits[i], cands[bestIdx], fits[bestIdx]) {
+			bestIdx = i
+		}
+	}
+	// Move only on strict improvement; ties keep the incumbent, so a flat
+	// gene never causes drift.
+	if fits[bestIdx].Score < s.CurFit.Score {
+		s.Cur = cands[bestIdx]
+		f := fits[bestIdx]
+		s.CurFit = &f
+		s.Improved = true
+	}
+
+	s.GeneCursor++
+	if s.GeneCursor >= NumGenes {
+		s.GeneCursor = 0
+		s.Gen++
+		improved := s.Improved
+		s.Improved = false
+		if s.Gen >= s.Spec.Gens || !improved {
+			s.Done = true
+		}
+	}
+	if s.Spec.Budget > 0 && s.Evals >= s.Spec.Budget {
+		s.Done = true
+	}
+	return nil
+}
+
+// --- checkpointing ---
+
+// searchStateKind is the snap envelope kind for search checkpoints.
+const searchStateKind = "evolve-search"
+
+// searchState is the serialized form of a Search. Genomes travel as their
+// canonical specs (exact float round-trip via strconv 'g' -1); fitness
+// floats survive encoding/json exactly, so a resumed search is
+// bit-identical to an uninterrupted one.
+type searchState struct {
+	Spec       string     `json:"spec"`
+	Gen        int        `json:"gen"`
+	Pop        []string   `json:"pop,omitempty"`
+	Fits       []*Fitness `json:"fits,omitempty"`
+	Cur        string     `json:"cur,omitempty"`
+	CurFit     *Fitness   `json:"cur_fit,omitempty"`
+	GeneCursor int        `json:"gene_cursor"`
+	Improved   bool       `json:"improved"`
+	Best       string     `json:"best,omitempty"`
+	BestFit    Fitness    `json:"best_fit"`
+	HaveBest   bool       `json:"have_best"`
+	Log        []string   `json:"log,omitempty"`
+	Evals      int        `json:"evals"`
+	Done       bool       `json:"done"`
+}
+
+// Checkpoint serializes the complete search state into a snap envelope.
+func (s *Search) Checkpoint(w *bytes.Buffer) error {
+	st := searchState{
+		Spec: s.Spec.String(), Gen: s.Gen, Fits: s.Fits,
+		CurFit: s.CurFit, GeneCursor: s.GeneCursor, Improved: s.Improved,
+		BestFit: s.BestFit, HaveBest: s.haveBest,
+		Log: s.Log, Evals: s.Evals, Done: s.Done,
+	}
+	for _, g := range s.Pop {
+		st.Pop = append(st.Pop, g.String())
+	}
+	if s.Spec.Strategy == StrategyCoord {
+		st.Cur = s.Cur.String()
+	}
+	if s.haveBest {
+		st.Best = s.Best.String()
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	return snap.WriteEnvelope(w, searchStateKind, payload)
+}
+
+// checkpointFile writes the checkpoint atomically (tmp + rename), so an
+// interrupt mid-write leaves the previous checkpoint intact.
+func (s *Search) checkpointFile(path string) error {
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSearch restores a checkpointed search. The checkpoint's spec must
+// match the requested one — resuming a search under different parameters
+// would silently change the trajectory.
+func LoadSearch(data []byte, spec Spec, ev *Evaluator) (*Search, error) {
+	kind, payload, err := snap.ReadEnvelope(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if kind != searchStateKind {
+		return nil, fmt.Errorf("evolve: checkpoint kind %q (want %s)", kind, searchStateKind)
+	}
+	var st searchState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("evolve: checkpoint payload: %w", err)
+	}
+	if st.Spec != spec.String() {
+		return nil, fmt.Errorf("evolve: checkpoint spec %q does not match %q", st.Spec, spec.String())
+	}
+	s := &Search{
+		Spec: spec, ev: ev, Gen: st.Gen, Fits: st.Fits,
+		CurFit: st.CurFit, GeneCursor: st.GeneCursor, Improved: st.Improved,
+		BestFit: st.BestFit, haveBest: st.HaveBest,
+		Log: st.Log, Evals: st.Evals, Done: st.Done,
+	}
+	for _, gs := range st.Pop {
+		g, err := ParseGenomeSpec(gs)
+		if err != nil {
+			return nil, fmt.Errorf("evolve: checkpoint population: %w", err)
+		}
+		s.Pop = append(s.Pop, g)
+	}
+	if st.Cur != "" {
+		if s.Cur, err = ParseGenomeSpec(st.Cur); err != nil {
+			return nil, fmt.Errorf("evolve: checkpoint cursor: %w", err)
+		}
+	}
+	if st.Best != "" {
+		if s.Best, err = ParseGenomeSpec(st.Best); err != nil {
+			return nil, fmt.Errorf("evolve: checkpoint best: %w", err)
+		}
+	}
+	if len(s.Pop) != len(s.Fits) {
+		return nil, fmt.Errorf("evolve: checkpoint population/fitness length mismatch (%d vs %d)", len(s.Pop), len(s.Fits))
+	}
+	return s, nil
+}

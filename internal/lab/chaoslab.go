@@ -30,10 +30,12 @@ func FigR(scale float64) (string, error) {
 	return report, nil
 }
 
-// chaosSweepSpec scales the calibrated fault rates by mult. The recovery
+// ChaosSweepSpec scales the calibrated fault rates by mult. The recovery
 // knobs (repair window, retry budget, backoff, restore cost) stay fixed:
 // the sweep varies how often faults strike, not how recovery behaves.
-func chaosSweepSpec(mult float64) chaos.Spec {
+// Shared with internal/evolve, whose fitness suite scores genomes under the
+// same fault intensities Fig R sweeps.
+func ChaosSweepSpec(mult float64) chaos.Spec {
 	s := chaos.DefaultSpec()
 	s.NodeFailPerDay *= mult
 	s.GPUFailPerDay *= mult
@@ -68,7 +70,7 @@ func figRGrid(w *World, mults []float64) ([]figRCell, string) {
 		// clones the Lucid models), so cells never share mutable state.
 		nr := w.Schedulers()[c.run]
 		if m := mults[c.mult]; m > 0 {
-			nr.Opts.Chaos = chaos.NewInjector(chaosSweepSpec(m))
+			nr.Opts.Chaos = chaos.NewInjector(ChaosSweepSpec(m))
 		}
 		return figRCell{Name: nr.Name, Mult: mults[c.mult], Res: w.Run(nr)}
 	})

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // World is a prepared evaluation context for one cluster: a history month
@@ -136,6 +137,27 @@ type NamedRun struct {
 // order.
 func (w *World) NewLucid(cfg core.Config) sim.Scheduler {
 	return core.New(w.Models.Clone(), cfg)
+}
+
+// NewLucidTuned builds a Lucid whose config may carry non-default classifier
+// thresholds. The Packing Analyze Model is threshold-dependent — its labeled
+// dataset is cut at (Medium, Tiny) — so the world's cached analyzer (trained
+// at the defaults) would silently ignore a tuned cut point; this retrains it
+// on the variant thresholds, exactly as BinderThresholdStudy does. With
+// default thresholds it is NewLucid. internal/evolve routes every genome
+// through here so the threshold genes actually steer behaviour.
+func (w *World) NewLucidTuned(cfg core.Config) (sim.Scheduler, error) {
+	cfg = cfg.Normalized()
+	if cfg.Thresholds == workload.DefaultThresholds {
+		return w.NewLucid(cfg), nil
+	}
+	analyzer, err := core.TrainPackingAnalyzer(cfg.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	models := w.Models.Clone()
+	models.Analyzer = analyzer
+	return core.New(models, cfg), nil
 }
 
 // Run executes one scheduler over the world's evaluation trace.

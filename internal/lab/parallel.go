@@ -72,6 +72,13 @@ func parallelEach(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEachPar runs fn(i) for every i in [0, n) on the harness worker pool —
+// the exported face of parallelEach for sibling packages (internal/evolve
+// fans fitness evaluations through it). The same contract applies: fn must
+// confine its writes to per-index state, and because results are assembled
+// by index, serial (-parallel 1) and parallel execution are byte-identical.
+func ForEachPar(n int, fn func(i int)) { parallelEach(n, fn) }
+
 // collectPar evaluates fn over [0, n) in parallel and returns the results
 // in index order.
 func collectPar[T any](n int, fn func(i int) T) []T {
