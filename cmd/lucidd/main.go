@@ -30,6 +30,14 @@
 // clean SIGTERM drain. A state dir is bound to the shard count that created
 // it. Drive it with cmd/lucidload to measure sustained req/s and latency.
 //
+// With -ingest-queue N telemetry ingest (POST /metrics, POST /agents) turns
+// asynchronous: each shard buffers up to N acked ops in a bounded queue
+// drained by a shard-owned applier that coalesces WAL appends into batched
+// fsyncs; full queues shed load with 429 + Retry-After instead of blocking.
+// Job submissions stay synchronous (fsynced before the 201). Reads barrier on
+// the queue first, so /jobs, /schedule and /agents still observe every acked
+// sample.
+//
 // GET /metrics serves the daemon's own instruments (request latency and
 // status codes per endpoint, WAL append/fsync latency, snapshot cost, queue
 // depth, agent count, recovery stats) in Prometheus text format; -pprof-addr
@@ -59,6 +67,8 @@ func main() {
 	maxBody := flag.Int64("max-body-bytes", 1<<20, "reject request bodies larger than this")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	stateDir := flag.String("state-dir", "", "directory for WAL + snapshot durability (empty = in-memory only)")
+	ingestQueue := flag.Int("ingest-queue", 0, "per-shard async telemetry queue depth; 0 = synchronous ingest, >0 acks samples/heartbeats with 202 and sheds overload with 429+Retry-After")
+	ingestBatch := flag.Int("ingest-batch", 0, "max telemetry ops coalesced per apply+fsync batch (0 = default; only with -ingest-queue)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled); keep it private")
 	flag.Parse()
 
@@ -68,6 +78,8 @@ func main() {
 		AgentStaleAfter: *stale,
 		EnableChaos:     *chaos,
 		StateDir:        *stateDir,
+		IngestQueue:     *ingestQueue,
+		IngestBatch:     *ingestBatch,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +94,10 @@ func main() {
 					r.Shard, r.Records, r.FromSnapshot, r.TornBytes)
 			}
 		}
+	}
+
+	if *ingestQueue > 0 {
+		log.Printf("lucidd async telemetry ingest: per-shard queue %d (batched apply+fsync; overload answers 429)", *ingestQueue)
 	}
 
 	if *pprofAddr != "" {

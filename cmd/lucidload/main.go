@@ -27,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/loadgen"
@@ -47,7 +49,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed (same seed, same per-worker op streams)")
 	mixSpec := flag.String("mix", loadgen.DefaultMix().String(), "op mix weights, e.g. heartbeat=8,sample=4,submit=1,schedule=1,agents=2")
 	out := flag.String("out", "BENCH_lucidd.json", "where -selfbench writes its JSON comparison")
+	ingestQueue := flag.Int("ingest-queue", 0, "per-shard async ingest queue for the -selfbench servers (0 = synchronous)")
+	ingestBatch := flag.Int("ingest-batch", 0, "apply+fsync batch size for the -selfbench servers (0 = server default)")
+	verifyAcks := flag.Bool("verify-acks", false, "network mode: after the run, GET /jobs and fail unless every 201-acked job is present")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	mix, err := loadgen.ParseMix(*mixSpec)
 	if err != nil {
@@ -61,7 +79,7 @@ func main() {
 
 	switch {
 	case *selfbench:
-		if err := runSelfbench(base, *shards, *out); err != nil {
+		if err := runSelfbench(base, *shards, *ingestQueue, *ingestBatch, *out); err != nil {
 			log.Fatal(err)
 		}
 	case *addr != "":
@@ -73,9 +91,50 @@ func main() {
 		}
 		fmt.Println(res.Summary())
 		printPerOp(res)
+		if *verifyAcks {
+			if err := runVerifyAcks(*addr, res.AckedJobs); err != nil {
+				log.Fatal(err)
+			}
+		}
 	default:
 		log.Fatal("lucidload: need -addr (network mode) or -selfbench")
 	}
+}
+
+// runVerifyAcks audits the server's ledger against the client's: every job ID
+// the server 201-acknowledged during the run must appear in GET /jobs. The
+// GET is itself a flush barrier on an async-ingest server, so this also
+// proves the drain/visibility contract end to end over the network.
+func runVerifyAcks(addr string, acked []int) error {
+	resp, err := http.Get(addr + "/jobs")
+	if err != nil {
+		return fmt.Errorf("verify-acks: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("verify-acks: GET /jobs returned %s", resp.Status)
+	}
+	var jobs []struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		return fmt.Errorf("verify-acks: decoding /jobs: %w", err)
+	}
+	have := make(map[int]bool, len(jobs))
+	for _, j := range jobs {
+		have[j.ID] = true
+	}
+	dropped := 0
+	for _, id := range acked {
+		if !have[id] {
+			dropped++
+		}
+	}
+	fmt.Printf("verify-acks: acked=%d dropped=%d\n", len(acked), dropped)
+	if dropped > 0 {
+		return fmt.Errorf("verify-acks: %d acknowledged job(s) missing from /jobs", dropped)
+	}
+	return nil
 }
 
 func printPerOp(res *loadgen.Result) {
@@ -96,6 +155,8 @@ type benchReport struct {
 		DurationSec float64 `json:"duration_sec"`
 		Seed        int64   `json:"seed"`
 		Mix         string  `json:"mix"`
+		IngestQueue int     `json:"ingest_queue"`
+		IngestBatch int     `json:"ingest_batch"`
 	} `json:"config"`
 	SingleShard *loadgen.Result `json:"single_shard"`
 	Sharded     *loadgen.Result `json:"sharded"`
@@ -107,12 +168,13 @@ type benchReport struct {
 // server and an in-memory N-shard server, prefilling each with the full
 // agent fleet and a seed queue first so the measured window is steady-state
 // (per-op cost dominated by shard population, not by ramp-up).
-func runSelfbench(base loadgen.Options, shards int, out string) error {
+func runSelfbench(base loadgen.Options, shards, ingestQueue, ingestBatch int, out string) error {
 	if shards < 2 {
 		return fmt.Errorf("lucidload: -selfbench needs -shards >= 2 (got %d)", shards)
 	}
 	run := func(n int) (*loadgen.Result, error) {
-		srv, err := lucidd.NewServerWith(lucidd.Options{Shards: n})
+		srv, err := lucidd.NewServerWith(lucidd.Options{Shards: n,
+			IngestQueue: ingestQueue, IngestBatch: ingestBatch})
 		if err != nil {
 			return nil, err
 		}
@@ -175,6 +237,8 @@ func runSelfbench(base loadgen.Options, shards int, out string) error {
 	rep.Config.DurationSec = base.Duration.Seconds()
 	rep.Config.Seed = base.Seed
 	rep.Config.Mix = base.Mix.String()
+	rep.Config.IngestQueue = ingestQueue
+	rep.Config.IngestBatch = ingestBatch
 	rep.SingleShard = single
 	rep.Sharded = sharded
 	if single.ReqPerSec > 0 {

@@ -15,9 +15,11 @@ package loadgen
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -144,6 +146,19 @@ type Options struct {
 	// Stop, when non-nil, ends the run early when closed (soak tests use it
 	// to stop workers after a mid-run drain).
 	Stop <-chan struct{}
+
+	// RetryAfterCap bounds how long a worker honors a server's Retry-After
+	// hint (backpressure 429s, drain-gate 503s) before resuming its stream.
+	// The server advertises whole seconds; a saturation harness that slept
+	// the full hint would measure its own sleeping, so the default cap is
+	// 50ms — long enough to let an overloaded shard drain, short enough to
+	// keep probing it. 0 selects the default; negative disables the backoff.
+	RetryAfterCap time.Duration
+
+	// DialContext, when non-nil, replaces the network dialer in BaseURL
+	// mode. The connection-reuse regression test counts physical dials
+	// through it; production runs leave it nil.
+	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -162,6 +177,9 @@ func (o Options) withDefaults() Options {
 	if o.OpsPerWorker <= 0 && o.Duration <= 0 {
 		o.Duration = 5 * time.Second
 	}
+	if o.RetryAfterCap == 0 {
+		o.RetryAfterCap = 50 * time.Millisecond
+	}
 	return o
 }
 
@@ -176,9 +194,14 @@ type OpStats struct {
 
 // Result is one load run's report.
 type Result struct {
-	Requests    int64   `json:"requests"`
-	Errors      int64   `json:"errors"`   // transport failures + unexpected statuses
-	Rejected    int64   `json:"rejected"` // 503s (drain gate) — expected during shutdown
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"` // transport failures + unexpected statuses
+	// Rejected counts explicit, retryable server refusals — never errors, so
+	// BENCH error gates stay meaningful under backpressure. It is the sum of
+	// the two refusal classes below.
+	Rejected    int64   `json:"rejected"`
+	Rejected429 int64   `json:"rejected_429"` // ingest-queue backpressure
+	Rejected503 int64   `json:"rejected_503"` // drain gate
 	DurationSec float64 `json:"duration_sec"`
 	ReqPerSec   float64 `json:"req_per_sec"`
 	P50ms       float64 `json:"p50_ms"`
@@ -194,8 +217,9 @@ type Result struct {
 
 // Summary renders the one-line human report the CLI prints (and CI greps).
 func (r *Result) Summary() string {
-	return fmt.Sprintf("lucidload: %d reqs in %.2fs = %.0f req/s; p50=%.3fms p99=%.3fms p999=%.3fms errors=%d rejected=%d",
-		r.Requests, r.DurationSec, r.ReqPerSec, r.P50ms, r.P99ms, r.P999ms, r.Errors, r.Rejected)
+	return fmt.Sprintf("lucidload: %d reqs in %.2fs = %.0f req/s; p50=%.3fms p99=%.3fms p999=%.3fms errors=%d rejected=%d rejected429=%d rejected503=%d",
+		r.Requests, r.DurationSec, r.ReqPerSec, r.P50ms, r.P99ms, r.P999ms,
+		r.Errors, r.Rejected, r.Rejected429, r.Rejected503)
 }
 
 // latencyBuckets resolves ~1µs to ~100s at ×1.35 granularity: fine enough
@@ -206,7 +230,9 @@ func latencyBuckets() []float64 { return metrics.ExpBuckets(1e-6, 1.35, 62) }
 type target interface {
 	// do issues one request. wantBody asks for the response body (submits
 	// parse the acked job ID out of it); otherwise the body is discarded.
-	do(method, path, body string, wantBody bool) (status int, respBody []byte, err error)
+	// retryAfter carries the server's Retry-After hint (0 when absent), so
+	// workers can honor backpressure without the target leaking headers.
+	do(method, path, body string, wantBody bool) (status int, retryAfter time.Duration, respBody []byte, err error)
 }
 
 // Run executes one load run and blocks until every worker finishes.
@@ -219,12 +245,27 @@ func Run(opts Options) (*Result, error) {
 	case opts.Handler != nil:
 		tgt = &handlerTarget{h: opts.Handler}
 	case opts.BaseURL != "":
+		// Connection reuse is load-bearing: every worker must keep one
+		// persistent connection, or the harness measures TIME_WAIT churn and
+		// ephemeral-port exhaustion instead of the server. The idle pool is
+		// sized past the worker count on BOTH knobs (MaxIdleConnsPerHost
+		// defaults to 2 — the classic silent dial storm against a single
+		// host), idle conns outlive worker think-time, and response bodies
+		// are always drained (see httpTarget.do) so the transport can
+		// recycle them. TestNetworkModeReusesConnections counts dials.
+		tr := &http.Transport{
+			MaxIdleConns:        opts.Workers * 2,
+			MaxIdleConnsPerHost: opts.Workers * 2,
+			IdleConnTimeout:     90 * time.Second,
+			// Tiny JSON bodies never win from gzip; skip the negotiation.
+			DisableCompression: true,
+		}
+		if opts.DialContext != nil {
+			tr.DialContext = opts.DialContext
+		}
 		tgt = &httpTarget{base: strings.TrimRight(opts.BaseURL, "/"), client: &http.Client{
-			Timeout: 30 * time.Second,
-			Transport: &http.Transport{
-				MaxIdleConns:        opts.Workers * 2,
-				MaxIdleConnsPerHost: opts.Workers * 2,
-			},
+			Timeout:   30 * time.Second,
+			Transport: tr,
 		}}
 	default:
 		return nil, fmt.Errorf("loadgen: no target (set Handler or BaseURL)")
@@ -257,12 +298,14 @@ func Run(opts Options) (*Result, error) {
 	for _, wk := range workers {
 		res.Requests += wk.requests
 		res.Errors += wk.errors
-		res.Rejected += wk.rejected
+		res.Rejected429 += wk.rejected429
+		res.Rejected503 += wk.rejected503
 		res.AckedJobs = append(res.AckedJobs, wk.acked...)
 		for op, n := range wk.opErrors {
 			perOpErr[op] += n
 		}
 	}
+	res.Rejected = res.Rejected429 + res.Rejected503
 	sort.Ints(res.AckedJobs)
 	if elapsed > 0 {
 		res.ReqPerSec = float64(res.Requests) / elapsed
@@ -299,11 +342,12 @@ type worker struct {
 	nextAgent        int
 	submitSeq        int
 
-	requests int64
-	errors   int64
-	rejected int64
-	opErrors map[string]int64
-	acked    []int
+	requests    int64
+	errors      int64
+	rejected429 int64
+	rejected503 int64
+	opErrors    map[string]int64
+	acked       []int
 }
 
 func newWorker(idx int, opts Options, tgt target, lat *metrics.HistogramVec, all *metrics.Histogram) *worker {
@@ -397,19 +441,25 @@ func (w *worker) step(op string) {
 }
 
 // issue sends one request, timing it and classifying the outcome. 2xx is
-// success; 503 is a drain rejection (counted separately — the soak test
-// expects them mid-drain); anything else, or a transport error, is an error.
+// success (200 sync ack or 202 async-ingest ack); 429 is ingest
+// backpressure and 503 a drain rejection — both are explicit retryable
+// refusals, counted as Rejected and honored with a capped Retry-After
+// backoff, never errors; anything else, or a transport error, is an error.
 func (w *worker) issue(op, method, path, body string, wantBody bool) (int, []byte, error) {
 	t0 := time.Now()
-	status, resp, err := w.tgt.do(method, path, body, wantBody)
+	status, retryAfter, resp, err := w.tgt.do(method, path, body, wantBody)
 	d := time.Since(t0).Seconds()
 	w.requests++
 	switch {
 	case err != nil:
 		w.errors++
 		w.opErrors[op]++
+	case status == http.StatusTooManyRequests:
+		w.rejected429++
+		w.backoff(retryAfter)
 	case status == http.StatusServiceUnavailable:
-		w.rejected++
+		w.rejected503++
+		w.backoff(retryAfter)
 	case status >= 200 && status < 300:
 		w.lat.With(op).Observe(d)
 		w.all.Observe(d)
@@ -418,6 +468,26 @@ func (w *worker) issue(op, method, path, body string, wantBody bool) (int, []byt
 		w.opErrors[op]++
 	}
 	return status, resp, err
+}
+
+// backoff honors a server Retry-After hint, capped by RetryAfterCap and cut
+// short by Stop. No hint (0) means no sleep — a refusal without guidance
+// should not slow the deterministic op stream.
+func (w *worker) backoff(hint time.Duration) {
+	if hint <= 0 || w.opts.RetryAfterCap < 0 {
+		return
+	}
+	if hint > w.opts.RetryAfterCap {
+		hint = w.opts.RetryAfterCap
+	}
+	if w.opts.Stop != nil {
+		select {
+		case <-w.opts.Stop:
+		case <-time.After(hint):
+		}
+		return
+	}
+	time.Sleep(hint)
 }
 
 // parseJobID pulls the "id" field out of a 201 body without a full decode on
@@ -440,16 +510,16 @@ func parseJobID(body []byte) int {
 // and the soak test.
 type handlerTarget struct{ h http.Handler }
 
-func (t *handlerTarget) do(method, path, body string, wantBody bool) (int, []byte, error) {
+func (t *handlerTarget) do(method, path, body string, wantBody bool) (int, time.Duration, []byte, error) {
 	// A nil body leaves req.Body nil, which is legal for clients but not for
 	// handlers invoked directly — always hand the handler a real reader.
 	req, err := http.NewRequest(method, "http://lucidd"+path, strings.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	rw := &nullResponse{wantBody: wantBody, code: http.StatusOK}
 	t.h.ServeHTTP(rw, req)
-	return rw.code, rw.body.Bytes(), nil
+	return rw.code, parseRetryAfter(rw.hdr), rw.body.Bytes(), nil
 }
 
 // nullResponse is a minimal ResponseWriter: status captured, body retained
@@ -483,27 +553,44 @@ type httpTarget struct {
 	client *http.Client
 }
 
-func (t *httpTarget) do(method, path, body string, wantBody bool) (int, []byte, error) {
+func (t *httpTarget) do(method, path, body string, wantBody bool) (int, time.Duration, []byte, error) {
 	var rd io.Reader
 	if body != "" {
 		rd = strings.NewReader(body)
 	}
 	req, err := http.NewRequest(method, t.base+path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	if body != "" {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
+	// Drain + close unconditionally: an undrained body poisons the
+	// keep-alive pool and every poisoned response costs a fresh dial.
 	defer resp.Body.Close()
+	ra := parseRetryAfter(resp.Header)
 	if wantBody {
 		b, rerr := io.ReadAll(resp.Body)
-		return resp.StatusCode, b, rerr
+		return resp.StatusCode, ra, b, rerr
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil, nil
+	return resp.StatusCode, ra, nil, nil
+}
+
+// parseRetryAfter reads a whole-seconds Retry-After header (the only form
+// lucidd emits); absent or malformed values mean no hint.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(v)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
 }

@@ -1,12 +1,17 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // recordingHandler is a stub control plane: it logs every request it sees
@@ -123,7 +128,10 @@ func TestResultAccounting(t *testing.T) {
 	}
 }
 
-// TestRejectedClassification: 503s are drain rejections, not errors.
+// TestRejectedClassification: 503s (drain gate) and 429s (ingest
+// backpressure) are retryable rejections — counted in their own subclasses
+// summing into Rejected, never as errors — so BENCH error gates stay
+// meaningful when a server sheds load.
 func TestRejectedClassification(t *testing.T) {
 	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -132,8 +140,86 @@ func TestRejectedClassification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Rejected != 100 || res.Errors != 0 {
-		t.Errorf("rejected=%d errors=%d, want 100/0", res.Rejected, res.Errors)
+	if res.Rejected != 100 || res.Rejected503 != 100 || res.Errors != 0 {
+		t.Errorf("rejected=%d rejected503=%d errors=%d, want 100/100/0",
+			res.Rejected, res.Rejected503, res.Errors)
+	}
+
+	h429 := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	// RetryAfterCap 1ns: the hint is honored (code path runs) without the
+	// test spending wall-clock sleeping.
+	res, err = Run(Options{Handler: h429, Workers: 2, OpsPerWorker: 50, Seed: 1,
+		RetryAfterCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 100 || res.Rejected429 != 100 || res.Errors != 0 {
+		t.Errorf("rejected=%d rejected429=%d errors=%d, want 100/100/0",
+			res.Rejected, res.Rejected429, res.Errors)
+	}
+}
+
+// TestRetryAfterBackoffHonored: a Retry-After hint slows the stream (capped),
+// and a refusal without the header does not sleep at all.
+func TestRetryAfterBackoffHonored(t *testing.T) {
+	withHint := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	start := time.Now()
+	if _, err := Run(Options{Handler: withHint, Workers: 1, OpsPerWorker: 5, Seed: 1,
+		RetryAfterCap: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 5*20*time.Millisecond {
+		t.Errorf("5 hinted refusals finished in %v; want >= 100ms of honored backoff", got)
+	}
+	noHint := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	start = time.Now()
+	if _, err := Run(Options{Handler: noHint, Workers: 1, OpsPerWorker: 5, Seed: 1,
+		RetryAfterCap: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got > 500*time.Millisecond {
+		t.Errorf("5 hint-less refusals took %v; backoff must require a server hint", got)
+	}
+}
+
+// TestNetworkModeReusesConnections is the connection-churn regression test:
+// a network-mode run must reuse each worker's keep-alive connection, not
+// dial per request. An undrained response body, a missing Content-Length, or
+// the net/http default MaxIdleConnsPerHost=2 with more workers would all
+// show up here as a dial count tracking the request count.
+func TestNetworkModeReusesConnections(t *testing.T) {
+	srv := httptest.NewServer(&recordingHandler{})
+	defer srv.Close()
+	const workers, ops = 4, 100
+	var dials int64
+	res, err := Run(Options{
+		BaseURL: srv.URL, Workers: workers, OpsPerWorker: ops, Seed: 3,
+		Agents: 16, VCs: 4,
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			atomic.AddInt64(&dials, 1)
+			return (&net.Dialer{}).DialContext(ctx, network, addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("network run had %d errors", res.Errors)
+	}
+	if want := int64(workers * ops); res.Requests != want {
+		t.Fatalf("requests = %d, want %d", res.Requests, want)
+	}
+	if got := atomic.LoadInt64(&dials); got > workers {
+		t.Errorf("%d requests from %d workers needed %d dials; want <= %d (one persistent conn per worker)",
+			res.Requests, workers, got, workers)
 	}
 }
 

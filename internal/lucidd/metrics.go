@@ -34,6 +34,12 @@ type serverMetrics struct {
 	snapshot  *metrics.Histogram // lucidd_snapshot_seconds
 	compacts  *metrics.Counter   // lucidd_compactions_total
 
+	ingestApplied  *metrics.Counter   // lucidd_ingest_applied_total
+	ingestRejected *metrics.Counter   // lucidd_ingest_rejected_total (429 backpressure)
+	ingestErrors   *metrics.Counter   // lucidd_ingest_errors_total
+	ingestBatch    *metrics.Histogram // lucidd_ingest_batch_ops
+	ingestDepth    *metrics.GaugeVec  // lucidd_ingest_queue_depth{shard}
+
 	recRecords *metrics.Gauge // lucidd_recovered_wal_records
 	recTorn    *metrics.Gauge // lucidd_recovered_torn_bytes
 	recSnap    *metrics.Gauge // lucidd_recovered_from_snapshot (shards recovered from snapshot)
@@ -70,6 +76,17 @@ func newServerMetrics(clock func() time.Time, shards int) *serverMetrics {
 			"Snapshot write + WAL reset (compaction) duration.", latencyBuckets()),
 		compacts: reg.Counter("lucidd_compactions_total",
 			"Snapshot compactions performed."),
+		ingestApplied: reg.Counter("lucidd_ingest_applied_total",
+			"Telemetry ops applied by the async ingest appliers."),
+		ingestRejected: reg.Counter("lucidd_ingest_rejected_total",
+			"Telemetry POSTs refused with 429 (ingest queue at high-water mark)."),
+		ingestErrors: reg.Counter("lucidd_ingest_errors_total",
+			"WAL append/fsync errors inside the async ingest appliers."),
+		ingestBatch: reg.Histogram("lucidd_ingest_batch_ops",
+			"Ops applied per async ingest batch (one mutex hold, one fsync).",
+			metrics.ExpBuckets(1, 2, 12)),
+		ingestDepth: reg.GaugeVec("lucidd_ingest_queue_depth",
+			"Queued telemetry ops per shard ingest queue.", "shard"),
 		recRecords: reg.Gauge("lucidd_recovered_wal_records",
 			"WAL records replayed at boot, summed across shards."),
 		recTorn: reg.Gauge("lucidd_recovered_torn_bytes",
@@ -134,6 +151,11 @@ func (s *Server) observePopulation() {
 		label := strconv.Itoa(sh.idx)
 		m.shardJobs.With(label).Set(float64(j))
 		m.shardAgents.With(label).Set(float64(a))
+		if sh.ingestQ != nil {
+			// len() on a channel is safe concurrently — the scrape stays
+			// lock-free even with the applier mid-batch.
+			m.ingestDepth.With(label).Set(float64(len(sh.ingestQ)))
+		}
 	}
 	m.queueDepth.Set(float64(jobs))
 	m.profiled.Set(float64(profiled))

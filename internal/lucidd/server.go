@@ -48,6 +48,12 @@ type jobState struct {
 	// loses its profile — the next samples rebuild it from scratch, exactly
 	// like a requeued job re-entering the simulator's profiler.
 	Restarts int `json:"restarts"`
+
+	// prio caches the job's position key in its shard's incremental priority
+	// index (GPUs × EstSec at the last reposition). Unexported: it is an
+	// index implementation detail, never serialized, and only read or
+	// written under the owning shard's mutex.
+	prio float64
 }
 
 // agentState is one registered node agent, kept alive by heartbeats. The VC
@@ -57,6 +63,16 @@ type agentState struct {
 	VC       string    `json:"vc,omitempty"`
 	Node     int       `json:"node"` // 0-based node index the agent reports for
 	LastSeen time.Time `json:"last_seen"`
+
+	// frag is the agent's pre-marshaled listing fragment, refreshed by
+	// refreshFrag on every mutation (shard mutex held). Replaced wholesale,
+	// never mutated in place, so readers may retain it after unlock.
+	frag []byte
+	// Intrusive heartbeat-order list links (shard mutex held). Heartbeats
+	// stamp a monotone clock, so the shard's agents in list order are in
+	// LastSeen order and the stale set is always a prefix — the staleness
+	// sweep pops the front instead of scanning the whole table.
+	lruPrev, lruNext *agentState
 }
 
 // profile mirrors the three non-intrusive metrics.
@@ -99,6 +115,19 @@ type Options struct {
 	// CompactEvery overrides the per-shard WAL-records-per-snapshot
 	// compaction threshold (tests use tiny values). 0 selects the default.
 	CompactEvery int64
+	// IngestQueue > 0 enables batched async telemetry ingest: POST /metrics
+	// samples and POST /agents heartbeats are acknowledged with 202 after
+	// landing on a per-shard bounded queue of this capacity, drained by a
+	// shard-owned applier that coalesces WAL appends into batched fsyncs.
+	// A full queue refuses the POST with 429 + Retry-After (backpressure).
+	// Read paths and Shutdown insert flush barriers, so every acknowledged
+	// sample is observed there — see ingest.go for the full contract.
+	// 0 (default) selects synchronous ingest.
+	IngestQueue int
+	// IngestBatch caps how many queued ops the applier applies per mutex
+	// acquisition and fsync. 0 selects the default (256). Only meaningful
+	// with IngestQueue > 0.
+	IngestBatch int
 	// Clock substitutes time.Now so staleness tests are deterministic.
 	Clock func() time.Time
 }
@@ -112,6 +141,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AgentStaleAfter == 0 {
 		o.AgentStaleAfter = 90 * time.Second
+	}
+	if o.IngestQueue > 0 && o.IngestBatch <= 0 {
+		o.IngestBatch = defaultIngestBatch
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now
@@ -154,6 +186,9 @@ type Server struct {
 	// delayMS is a chaos knob: artificial per-request latency, letting tests
 	// hold requests in flight deterministically while Shutdown drains.
 	delayMS atomic.Int64
+	// appliersStopped guards the one-shot close of the ingest queues (a
+	// second Shutdown must not close them again).
+	appliersStopped atomic.Bool
 }
 
 // Model training is deterministic and expensive, so every server shares one
@@ -223,6 +258,12 @@ func NewServerWith(opts Options) (*Server, error) {
 		// torn WAL tail never touches a sibling's state.
 		if err := s.openStores(s.opts.StateDir); err != nil {
 			return nil, err
+		}
+	}
+	if s.opts.IngestQueue > 0 {
+		// After recovery: the appliers must never race WAL replay.
+		for _, sh := range s.shards {
+			sh.startApplier(s.opts.IngestQueue, s.opts.IngestBatch)
 		}
 	}
 	return s, nil
@@ -295,6 +336,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// counted and Shutdown waits for it. Either way nothing is dropped
 	// mid-handler.
 	if s.draining.Load() {
+		// Retry-After tells well-behaved clients (and loadgen) this is a
+		// retryable refusal, not a failure — the same contract as the
+		// ingest-backpressure 429s.
+		sr.Header().Set("Retry-After", "1")
 		http.Error(sr, "server draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -308,9 +353,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Shutdown drains the server: new requests get 503 immediately, and the call
-// blocks until every in-flight request has completed or ctx expires. After a
-// clean drain every shard's durable state (if any) is snapshotted and its WAL
-// closed, so the next boot restores from the snapshots alone.
+// blocks until every in-flight request has completed or ctx expires. With
+// async ingest on, the ingest queues are then closed and their appliers
+// drain every acknowledged op (applied + fsynced) before the stores close.
+// After a clean drain every shard's durable state (if any) is snapshotted
+// and its WAL closed, so the next boot restores from the snapshots alone.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	tick := time.NewTicker(2 * time.Millisecond)
@@ -324,6 +371,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-tick.C:
 		}
 	}
+	// In-flight handlers are done, so no producer can touch a queue again:
+	// safe to close them and wait for the drain.
+	if err := s.stopAppliers(ctx); err != nil {
+		return err
+	}
 	var err error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -334,6 +386,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		sh.mu.Unlock()
 	}
 	return err
+}
+
+// rejectOverload refuses a telemetry POST whose shard queue is at its
+// high-water mark: 429 + Retry-After, the explicit backpressure signal.
+// Clients treat it like the drain-gate 503 — back off and resend — and
+// loadgen counts it as Rejected, not an error.
+func (s *Server) rejectOverload(w http.ResponseWriter) {
+	s.met.ingestRejected.Inc()
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 }
 
 // decode parses a JSON request body, translating the body-cap error into 413
@@ -402,11 +464,14 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 // collectJobs gathers job copies: from the one shard owning vc when scoped,
 // else from every shard in turn (at most one shard lock held at a time),
-// merged in ID order.
+// merged in ID order. Each shard is flushed before its copy, so the listing
+// reflects every sample acknowledged before the read arrived.
 func (s *Server) collectJobs(vc string) []*jobState {
 	if vc != "" {
+		sh := s.shardFor(vc)
+		sh.flush()
 		out := make([]*jobState, 0)
-		for _, js := range s.shardFor(vc).copyJobs() {
+		for _, js := range sh.copyJobs() {
 			if js.VC == vc {
 				out = append(out, js)
 			}
@@ -415,6 +480,7 @@ func (s *Server) collectJobs(vc string) []*jobState {
 	}
 	out := make([]*jobState, 0)
 	for _, sh := range s.shards {
+		sh.flush()
 		out = append(out, sh.copyJobs()...)
 	}
 	sortJobsByID(out)
@@ -423,6 +489,34 @@ func (s *Server) collectJobs(vc string) []*jobState {
 
 func sortJobsByID(out []*jobState) {
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+}
+
+// mergeQueues K-way merges per-shard queue views, each already sorted by
+// queueLess. The comparator's global-job-ID tie-break makes the merge
+// deterministic even when two shards hold jobs with equal priority keys.
+// Shard counts are small (≤ dozens), so a linear scan per pop beats heap
+// overhead.
+func mergeQueues(views [][]*jobState) []*jobState {
+	total := 0
+	for _, v := range views {
+		total += len(v)
+	}
+	out := make([]*jobState, 0, total)
+	heads := make([]int, len(views))
+	for len(out) < total {
+		best := -1
+		for i, v := range views {
+			if heads[i] >= len(v) {
+				continue
+			}
+			if best < 0 || queueLess(v[heads[i]], views[best][heads[best]]) {
+				best = i
+			}
+		}
+		out = append(out, views[best][heads[best]])
+		heads[best]++
+	}
+	return out
 }
 
 // handleMetrics is two endpoints sharing a path, split by method: POST
@@ -450,6 +544,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sh, ok := s.shardOfJob(req.Job)
 	if !ok {
 		http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
+		return
+	}
+	if sh.ingestQ != nil {
+		// Async ingest: O(1) enqueue, no shard lock on the request path.
+		// 202 = acknowledged, will be applied in FIFO order; 429 = shard at
+		// its high-water mark, client should back off and resend.
+		if !sh.enqueue(walOp{Op: "metrics", ID: req.Job, GPUUtil: req.GPUUtil,
+			GPUMemMB: req.GPUMemMB, GPUMemUtil: req.GPUMemUtil}) {
+			s.rejectOverload(w)
+			return
+		}
+		// Hand-rolled body: this is the hottest response in async mode and
+		// an encoder pass per sample is measurable at benchmark rates.
+		buf := make([]byte, 0, 40)
+		buf = append(buf, `{"job":`...)
+		buf = strconv.AppendInt(buf, int64(req.Job), 10)
+		buf = append(buf, `,"queued":true}`+"\n"...)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write(buf)
 		return
 	}
 	sh.mu.Lock()
@@ -495,22 +609,29 @@ func (s *Server) Metrics() *metrics.Registry { return s.met.reg }
 
 // handleSchedule returns the queue in Lucid priority order
 // (GPUs × estimated duration, ascending — Algorithm 2). ?vc= scopes the
-// queue to one tenant's shard; otherwise every shard contributes its queue
-// and the front door merges.
+// queue to one tenant's shard; otherwise every shard contributes its
+// pre-sorted incremental index and the front door K-way merges — no
+// per-request re-sort. Ties across shards break on global job ID
+// (queueLess), so the merged order is identical at any shard count.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	out := s.collectJobs(r.URL.Query().Get("vc"))
-	sort.Slice(out, func(i, j int) bool {
-		pi := float64(out[i].GPUs) * out[i].EstSec
-		pj := float64(out[j].GPUs) * out[j].EstSec
-		if pi != pj {
-			return pi < pj
+	vc := r.URL.Query().Get("vc")
+	var out []*jobState
+	if vc != "" {
+		sh := s.shardFor(vc)
+		sh.flush()
+		out = sh.copyQueue(vc)
+	} else {
+		views := make([][]*jobState, 0, len(s.shards))
+		for _, sh := range s.shards {
+			sh.flush()
+			views = append(views, sh.copyQueue(""))
 		}
-		return out[i].ID < out[j].ID
-	})
+		out = mergeQueues(views)
+	}
 	if len(out) > 0 {
 		// Record the ordering decision: who leads the queue and why, plus
 		// the runners-up with their priority keys as counterfactuals.
@@ -554,6 +675,28 @@ func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		sh := s.shardFor(req.VC)
+		if sh.ingestQ != nil {
+			if !sh.enqueue(walOp{Op: "agent", Name: req.Name, VC: req.VC,
+				Node: req.Node, UnixNano: now.UnixNano()}) {
+				s.rejectOverload(w)
+				return
+			}
+			// Hand-rolled like the sample ack: heartbeats are ~3/4 of the
+			// default mix. Agent names are validated non-empty JSON strings
+			// already decoded from the request, so re-marshal is the only
+			// correct quoting path — strconv.Quote matches encoding/json for
+			// the names loadgen and real agents use, but not for all inputs,
+			// so quote via json.Marshal (cheap for a short string).
+			nameJSON, _ := json.Marshal(req.Name)
+			buf := make([]byte, 0, len(nameJSON)+32)
+			buf = append(buf, `{"agent":`...)
+			buf = append(buf, nameJSON...)
+			buf = append(buf, `,"queued":true}`+"\n"...)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			_, _ = w.Write(buf)
+			return
+		}
 		sh.mu.Lock()
 		sh.sweepStaleLocked(now)
 		cp, known := sh.applyAgentLocked(req.Name, req.VC, req.Node, now)
@@ -570,24 +713,28 @@ func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, cp)
 	case http.MethodGet:
+		// The listing is served from the per-shard (Name, VC, Node) indexes:
+		// a scoped read copies one pre-sorted, pre-serialized view, the
+		// cluster-wide read K-way-merges them — no per-request sort, no
+		// per-request struct marshal. agentLess documents why the full key
+		// (not Name alone) orders every possible cross-shard duplicate.
 		vc := r.URL.Query().Get("vc")
-		var out []agentState
 		if vc != "" {
-			for _, a := range s.shardFor(vc).copyAgents(now) {
-				if a.VC == vc {
-					out = append(out, a)
-				}
-			}
-		} else {
-			for _, sh := range s.shards {
-				out = append(out, sh.copyAgents(now)...)
-			}
+			sh := s.shardFor(vc)
+			sh.flush()
+			body := sh.agentListBody(now, vc)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(body)
+			sh.putListBuf(body)
+			return
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-		if out == nil {
-			out = []agentState{}
+		per := make([][]agentRef, len(s.shards))
+		for i, sh := range s.shards {
+			sh.flush()
+			per[i] = sh.copyAgentRefs(now)
 		}
-		writeJSON(w, http.StatusOK, out)
+		writeJSONRefs(w, mergeAgentRefs(per))
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
@@ -617,12 +764,17 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	case "evict-agent":
 		// Agent names carry no shard hint, so the front door scans shards
 		// (one lock at a time) for the victim — fine for a test-only path.
+		// Each shard is flushed first so an eviction cannot overtake a
+		// heartbeat the server acknowledged before it.
 		var victim *agentState
 		for _, sh := range s.shards {
+			sh.flush()
 			sh.mu.Lock()
 			if a, ok := sh.agents[req.Agent]; ok {
 				cp := *a
 				victim = &cp
+				sh.lruUnlinkLocked(a)
+				sh.aorderRemoveLocked(a)
 				delete(sh.agents, req.Agent)
 				sh.nAgents.Store(int64(len(sh.agents)))
 				_ = sh.logOpLocked(walOp{Op: "evict-agent", Name: req.Agent}, false)
@@ -645,6 +797,10 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("unknown job %d", req.Job), http.StatusNotFound)
 			return
 		}
+		// Barrier before the kill: samples acknowledged before this request
+		// must fold into the profile the kill then resets — the op order the
+		// parity contract fixes, regardless of ingest mode.
+		sh.flush()
 		sh.mu.Lock()
 		js, ok := sh.jobs[req.Job]
 		if !ok {
@@ -709,6 +865,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -819,4 +976,26 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONRefs composes a 200 JSON array response from pre-marshaled agent
+// fragments — byte-identical to writeJSON of the equivalent []agentState,
+// including the encoder's trailing newline.
+func writeJSONRefs(w http.ResponseWriter, refs []agentRef) {
+	total := 3 + len(refs) // '[', ']', '\n', one ',' per gap (one spare)
+	for _, r := range refs {
+		total += len(r.frag)
+	}
+	buf := make([]byte, 0, total)
+	buf = append(buf, '[')
+	for i, r := range refs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, r.frag...)
+	}
+	buf = append(buf, ']', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
 }

@@ -1,7 +1,10 @@
 package lucidd
 
 import (
+	"encoding/json"
 	"hash/fnv"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +38,29 @@ type shard struct {
 	mu     sync.Mutex
 	jobs   map[int]*jobState
 	agents map[string]*agentState
+	// order is the shard's incremental priority index: every job, kept
+	// sorted by (GPUs × EstSec, global ID) at all times. Mutators reposition
+	// the touched job with two binary searches instead of /schedule
+	// re-sorting the whole merged queue per request; cluster-wide reads
+	// K-way-merge these pre-sorted views.
+	order []*jobState
+	// aorder is the same idea for agents: every live agent, sorted by the
+	// full listing key (Name, VC, Node), each carrying a pre-marshaled JSON
+	// fragment refreshed on mutation. GET /agents becomes a filter/merge of
+	// pre-sorted, pre-serialized views instead of an O(n log n) sort plus an
+	// O(n) struct marshal per request — the difference between a listing
+	// that costs microseconds and one that dominates the benchmark at
+	// 10k+ agents per shard.
+	aorder []*agentState
+	// lruHead/lruTail anchor the intrusive heartbeat-order list (oldest
+	// first): LastSeen stamps a monotone clock, so stale agents are always
+	// a prefix and sweepStaleLocked is O(evicted), not O(shard-agents) —
+	// cheap enough to run on every heartbeat and every read at any fleet
+	// size.
+	lruHead, lruTail *agentState
+	// listBufs is the shard's free list of listing response buffers — see
+	// getListBufLocked for why this beats a sync.Pool here.
+	listBufs [][]byte
 	// est is this shard's clone of the shared workload estimator: same
 	// fitted model, private per-job cache, so refreshLocked never crosses
 	// shard boundaries. Estimates are a pure function of the job, so clones
@@ -44,6 +70,14 @@ type shard struct {
 	// Its methods are called with mu held, keeping WAL order consistent with
 	// the state mutations the records describe.
 	store *store
+
+	// Async ingest pipeline (nil/unused when Options.IngestQueue is 0; see
+	// ingest.go). ingestQ is the shard's bounded telemetry queue, drained by
+	// one applier goroutine per shard; applierDone closes when the applier
+	// has drained the closed queue. batchMax caps ops per critical section.
+	ingestQ     chan ingestItem
+	applierDone chan struct{}
+	batchMax    int
 
 	// Population counters published outside mu for lock-free observation:
 	// GET /metrics and the /statusz counts read these without touching the
@@ -106,6 +140,7 @@ func (sh *shard) applyJobLocked(js *jobState) {
 	sh.srv.jobShard.Store(js.ID, sh)
 	sh.srv.bumpNextID(js.ID)
 	sh.refreshLocked(js)
+	sh.orderInsertLocked(js)
 	sh.nJobs.Store(int64(len(sh.jobs)))
 }
 
@@ -113,6 +148,9 @@ func (sh *shard) applyJobLocked(js *jobState) {
 // an error, so the job must not exist. The allocated ID is not reused — a
 // gap is harmless, a reused ID is not.
 func (sh *shard) dropJobLocked(id int) {
+	if js, ok := sh.jobs[id]; ok {
+		sh.orderRemoveLocked(js)
+	}
 	delete(sh.jobs, id)
 	sh.srv.jobShard.Delete(id)
 	sh.nJobs.Store(int64(len(sh.jobs)))
@@ -122,12 +160,14 @@ func (sh *shard) dropJobLocked(id int) {
 // mean — what a DCGM poller would maintain — and reports whether this sample
 // crossed the profiling threshold.
 func (sh *shard) applySampleLocked(js *jobState, util, memMB, memUtil float64) bool {
+	sh.orderRemoveLocked(js)
 	n := float64(js.Samples)
 	js.Profile.GPUUtil = (js.Profile.GPUUtil*n + util) / (n + 1)
 	js.Profile.GPUMemMB = (js.Profile.GPUMemMB*n + memMB) / (n + 1)
 	js.Profile.GPUMemUtil = (js.Profile.GPUMemUtil*n + memUtil) / (n + 1)
 	js.Samples++
 	sh.refreshLocked(js)
+	sh.orderInsertLocked(js)
 	crossed := js.Samples == minSamples
 	if crossed {
 		sh.nProfiled.Add(1)
@@ -136,18 +176,62 @@ func (sh *shard) applySampleLocked(js *jobState, util, memMB, memUtil float64) b
 }
 
 // applyAgentLocked registers or heartbeats an agent, reporting whether it was
-// already known.
+// already known. The listing index and the agent's JSON fragment are
+// maintained here — the single choke point every mutation (live, replay,
+// async apply) goes through.
 func (sh *shard) applyAgentLocked(name, vc string, node int, now time.Time) (agentState, bool) {
 	a, known := sh.agents[name]
-	if !known {
-		a = &agentState{Name: name, VC: vc, Node: node}
+	switch {
+	case !known:
+		a = &agentState{Name: name, VC: vc, Node: node, LastSeen: now}
 		sh.agents[name] = a
+		a.refreshFrag()
+		sh.aorderInsertLocked(a)
+		sh.lruPushBackLocked(a)
+	case a.VC != vc || a.Node != node:
+		// The listing key changed: reposition under the old key first, the
+		// same remove-before-mutate discipline the job index uses.
+		sh.aorderRemoveLocked(a)
+		a.VC, a.Node, a.LastSeen = vc, node, now
+		a.refreshFrag()
+		sh.aorderInsertLocked(a)
+		sh.lruUnlinkLocked(a)
+		sh.lruPushBackLocked(a)
+	default:
+		a.LastSeen = now
+		a.refreshFrag()
+		sh.lruUnlinkLocked(a)
+		sh.lruPushBackLocked(a)
 	}
-	a.VC = vc
-	a.Node = node
-	a.LastSeen = now
 	sh.nAgents.Store(int64(len(sh.agents)))
 	return *a, known
+}
+
+// lruPushBackLocked appends a (not currently linked) agent at the
+// freshest end of the heartbeat-order list.
+func (sh *shard) lruPushBackLocked(a *agentState) {
+	a.lruPrev, a.lruNext = sh.lruTail, nil
+	if sh.lruTail != nil {
+		sh.lruTail.lruNext = a
+	} else {
+		sh.lruHead = a
+	}
+	sh.lruTail = a
+}
+
+// lruUnlinkLocked removes a linked agent from the heartbeat-order list.
+func (sh *shard) lruUnlinkLocked(a *agentState) {
+	if a.lruPrev != nil {
+		a.lruPrev.lruNext = a.lruNext
+	} else {
+		sh.lruHead = a.lruNext
+	}
+	if a.lruNext != nil {
+		a.lruNext.lruPrev = a.lruPrev
+	} else {
+		sh.lruTail = a.lruPrev
+	}
+	a.lruPrev, a.lruNext = nil, nil
 }
 
 // applyFailJobLocked kills a job: the in-memory profile is lost and the job
@@ -155,6 +239,7 @@ func (sh *shard) applyAgentLocked(name, vc string, node int, now time.Time) (age
 // until fresh samples arrive — mirroring the simulator's
 // requeue-through-profiler path.
 func (sh *shard) applyFailJobLocked(js *jobState) {
+	sh.orderRemoveLocked(js)
 	if js.Samples >= minSamples {
 		sh.nProfiled.Add(-1)
 	}
@@ -162,6 +247,275 @@ func (sh *shard) applyFailJobLocked(js *jobState) {
 	js.Samples = 0
 	js.Profile = profile{}
 	sh.refreshLocked(js)
+	sh.orderInsertLocked(js)
+}
+
+// queueLess is THE priority comparator (Algorithm 2: GPU demand × estimated
+// duration, ascending, global job ID as the total-order tie-break). The
+// per-shard index, the K-way fan-out merge and the tie-break tests all call
+// this one function, so the order is identical at any shard count.
+func queueLess(a, b *jobState) bool {
+	pa, pb := float64(a.GPUs)*a.EstSec, float64(b.GPUs)*b.EstSec
+	if pa != pb {
+		return pa < pb
+	}
+	return a.ID < b.ID
+}
+
+// orderRankLocked binary-searches the index position for a (prio, ID) key.
+func (sh *shard) orderRankLocked(prio float64, id int) int {
+	return sort.Search(len(sh.order), func(i int) bool {
+		o := sh.order[i]
+		if o.prio != prio {
+			return o.prio > prio
+		}
+		return o.ID >= id
+	})
+}
+
+// orderInsertLocked stamps the job's current priority key and inserts it at
+// its rank. Every job in the index carries the prio it was inserted under,
+// so lookups against the cached keys are exact.
+func (sh *shard) orderInsertLocked(js *jobState) {
+	js.prio = float64(js.GPUs) * js.EstSec
+	i := sh.orderRankLocked(js.prio, js.ID)
+	sh.order = append(sh.order, nil)
+	copy(sh.order[i+1:], sh.order[i:])
+	sh.order[i] = js
+}
+
+// orderRemoveLocked removes the job at its cached key (no-op if absent —
+// e.g. a replayed sample for a job the snapshot already dropped).
+func (sh *shard) orderRemoveLocked(js *jobState) {
+	i := sh.orderRankLocked(js.prio, js.ID)
+	if i < len(sh.order) && sh.order[i] == js {
+		sh.order = append(sh.order[:i], sh.order[i+1:]...)
+	}
+}
+
+// copyQueue snapshots the shard's priority order (optionally scoped to one
+// VC), already sorted — the unit step of the incremental /schedule fan-out.
+func (sh *shard) copyQueue(vc string) []*jobState {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]*jobState, 0, len(sh.order))
+	for _, js := range sh.order {
+		if vc != "" && js.VC != vc {
+			continue
+		}
+		cp := *js
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// agentLess is THE listing comparator: full (Name, VC, Node) key, because two
+// shards can hold same-named agents (different VCs hash apart) and Name alone
+// would leave their relative order to shard iteration — the fan-out
+// nondeterminism class PR 1 fixed for jobs. The per-shard index, the fan-out
+// merge and the tie-break tests all use this one function.
+func agentLess(a, b *agentState) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.VC != b.VC {
+		return a.VC < b.VC
+	}
+	return a.Node < b.Node
+}
+
+// jsonPlain reports whether s encodes as itself inside a JSON string under
+// encoding/json's default escaping (no control chars, quotes, backslashes,
+// HTML-escaped characters, or non-ASCII needing UTF-8 validation).
+func jsonPlain(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshFrag rewrites the agent's cached listing fragment IN PLACE (shard
+// mutex held — every reader of frag also holds it, or deep-copies under it).
+// Reusing the buffer matters: heartbeats dominate the workload, and a fresh
+// marshal allocation per heartbeat makes the collector the top CPU consumer.
+// The fast path hand-appends the encoding for plain ASCII names/VCs; anything
+// needing real escaping falls back to encoding/json. Both produce exactly the
+// bytes an element of []agentState encodes to, so a listing composed from
+// fragments matches writeJSON of the slice.
+func (a *agentState) refreshFrag() {
+	if jsonPlain(a.Name) && jsonPlain(a.VC) {
+		b := append(a.frag[:0], `{"name":"`...)
+		b = append(b, a.Name...)
+		if a.VC != "" {
+			b = append(b, `","vc":"`...)
+			b = append(b, a.VC...)
+		}
+		b = append(b, `","node":`...)
+		b = strconv.AppendInt(b, int64(a.Node), 10)
+		b = append(b, `,"last_seen":"`...)
+		b = a.LastSeen.AppendFormat(b, time.RFC3339Nano)
+		a.frag = append(b, '"', '}')
+		return
+	}
+	b, err := json.Marshal(a)
+	if err != nil {
+		b = nil // unreachable for this struct; never serve a stale fragment
+	}
+	a.frag = append(a.frag[:0], b...)
+}
+
+// aorderRankLocked binary-searches the listing index for an agent's key.
+func (sh *shard) aorderRankLocked(a *agentState) int {
+	return sort.Search(len(sh.aorder), func(i int) bool {
+		return !agentLess(sh.aorder[i], a)
+	})
+}
+
+func (sh *shard) aorderInsertLocked(a *agentState) {
+	i := sh.aorderRankLocked(a)
+	sh.aorder = append(sh.aorder, nil)
+	copy(sh.aorder[i+1:], sh.aorder[i:])
+	sh.aorder[i] = a
+}
+
+// aorderRemoveLocked removes the agent at its current key; callers must
+// remove BEFORE mutating key fields.
+func (sh *shard) aorderRemoveLocked(a *agentState) {
+	i := sh.aorderRankLocked(a)
+	if i < len(sh.aorder) && sh.aorder[i] == a {
+		sh.aorder = append(sh.aorder[:i], sh.aorder[i+1:]...)
+	}
+}
+
+// agentRef pairs a listing sort key with a copy of the agent's JSON fragment —
+// what a fan-out read copies out of a shard. The copy is mandatory: fragments
+// are rewritten in place on heartbeat, so a ref held after the shard unlocks
+// must own its bytes.
+type agentRef struct {
+	name, vc string
+	node     int
+	frag     []byte
+}
+
+func agentRefLess(a, b agentRef) bool {
+	if a.name != b.name {
+		return a.name < b.name
+	}
+	if a.vc != b.vc {
+		return a.vc < b.vc
+	}
+	return a.node < b.node
+}
+
+// copyAgentRefs force-sweeps stale agents and snapshots the shard's listing
+// view — already sorted, already serialized, fragments copied into one arena
+// allocation (they are rewritten in place on heartbeat, so the refs must own
+// their bytes once the lock drops). The unit step of the fan-out
+// (cluster-wide) listing merge.
+func (sh *shard) copyAgentRefs(now time.Time) []agentRef {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sweepStaleLocked(now)
+	total := 0
+	for _, a := range sh.aorder {
+		total += len(a.frag)
+	}
+	arena := make([]byte, 0, total)
+	out := make([]agentRef, 0, len(sh.aorder))
+	for _, a := range sh.aorder {
+		start := len(arena)
+		arena = append(arena, a.frag...)
+		out = append(out, agentRef{a.Name, a.VC, a.Node, arena[start:len(arena):len(arena)]})
+	}
+	return out
+}
+
+// getListBufLocked hands out a listing response buffer from the shard's own
+// free list. At large fleets a scoped GET /agents body runs to megabytes;
+// allocating one per request made the garbage collector the top CPU consumer
+// on the read path, and a sync.Pool barely helped because GC empties it (and
+// re-zeroing megabyte buffers IS the cost being avoided). Shard-owned slices
+// are never collected, so after the first few requests the read path is
+// allocation-free. Handlers return the buffer via putListBuf after the
+// response write (every writer — socket or recorder — copies, never retains).
+func (sh *shard) getListBufLocked() []byte {
+	if n := len(sh.listBufs); n > 0 {
+		b := sh.listBufs[n-1]
+		sh.listBufs = sh.listBufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// putListBuf returns a listing buffer for reuse, keeping at most a handful so
+// a burst of concurrent reads cannot pin unbounded memory.
+func (sh *shard) putListBuf(b []byte) {
+	sh.mu.Lock()
+	if len(sh.listBufs) < 4 {
+		sh.listBufs = append(sh.listBufs, b)
+	}
+	sh.mu.Unlock()
+}
+
+// agentListBody composes the complete vc-scoped GET /agents response body
+// (byte-identical to encoding the equivalent []agentState, trailing newline
+// included) in one pass over the pre-sorted, pre-serialized index — no
+// intermediate copies, no per-request sort or marshal. The returned buffer
+// must go back via putListBuf once written.
+func (sh *shard) agentListBody(now time.Time, vc string) []byte {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sweepStaleLocked(now)
+	buf := append(sh.getListBufLocked(), '[')
+	for _, a := range sh.aorder {
+		if a.VC != vc {
+			continue
+		}
+		if len(buf) > 1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, a.frag...)
+	}
+	return append(buf, ']', '\n')
+}
+
+// mergeAgentRefs K-way-merges per-shard listing views, each pre-sorted by
+// agentLess, into one globally ordered listing — the agent-side twin of
+// mergeQueues.
+func mergeAgentRefs(per [][]agentRef) []agentRef {
+	total, live := 0, 0
+	for _, p := range per {
+		total += len(p)
+		if len(p) > 0 {
+			live++
+		}
+	}
+	if live == 1 {
+		for _, p := range per {
+			if len(p) > 0 {
+				return p
+			}
+		}
+	}
+	out := make([]agentRef, 0, total)
+	heads := make([]int, len(per))
+	for len(out) < total {
+		best := -1
+		for i, p := range per {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || agentRefLess(p[heads[i]], per[best][heads[best]]) {
+				best = i
+			}
+		}
+		out = append(out, per[best][heads[best]])
+		heads[best]++
+	}
+	return out
 }
 
 // refreshLocked recomputes score and estimate from the current state.
@@ -184,17 +538,18 @@ func (sh *shard) refreshLocked(js *jobState) {
 
 // sweepStaleLocked evicts THIS shard's agents whose last heartbeat predates
 // the staleness window, recording each eviction as a presumed node failure.
-// The sweep is shard-local by construction: it iterates only sh.agents and
+// The sweep is shard-local by construction: it touches only sh.agents and
 // holds only sh.mu, so a slow sibling shard can neither delay it nor be
 // delayed by it (the satellite-fix contract, regression-tested by
-// TestSlowShardDoesNotBlockSibling).
+// TestSlowShardDoesNotBlockSibling). The heartbeat-order list makes it
+// O(evicted): the stale set is always the list's front prefix.
 func (sh *shard) sweepStaleLocked(now time.Time) {
-	for name, a := range sh.agents {
-		if now.Sub(a.LastSeen) > sh.srv.opts.AgentStaleAfter {
-			delete(sh.agents, name)
-			sh.srv.rec.Record(dtrace.Event{Action: dtrace.ActNodeFail,
-				Reason: "heartbeat-stale", Node: a.Node + 1})
-		}
+	for a := sh.lruHead; a != nil && now.Sub(a.LastSeen) > sh.srv.opts.AgentStaleAfter; a = sh.lruHead {
+		sh.lruUnlinkLocked(a)
+		sh.aorderRemoveLocked(a)
+		delete(sh.agents, a.Name)
+		sh.srv.rec.Record(dtrace.Event{Action: dtrace.ActNodeFail,
+			Reason: "heartbeat-stale", Node: a.Node + 1})
 	}
 	sh.nAgents.Store(int64(len(sh.agents)))
 }
@@ -217,17 +572,4 @@ func (sh *shard) copyJobs() []*jobState {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.snapshotLocked()
-}
-
-// copyAgents sweeps stale agents and copies the survivors (lock held only for
-// the sweep + copy).
-func (sh *shard) copyAgents(now time.Time) []agentState {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sh.sweepStaleLocked(now)
-	out := make([]agentState, 0, len(sh.agents))
-	for _, a := range sh.agents {
-		out = append(out, *a)
-	}
-	return out
 }

@@ -22,6 +22,10 @@ func parityClock() func() time.Time {
 // samples, heartbeats and chaos kills spread across VCs — and applies it to
 // srv. Ops are issued sequentially so the sequence (including which job IDs
 // get sampled and killed) is identical for every server it is replayed on.
+// Telemetry POSTs accept 200 (sync ingest) or 202 (async ingest); anything
+// else — in particular a 429, which would silently thin the op sequence —
+// fails the run, so parity servers must be built with a queue large enough
+// to never hit its high-water mark.
 func parityOps(t *testing.T, srv *Server, seed int64, n int) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
@@ -48,7 +52,7 @@ func parityOps(t *testing.T, srv *Server, seed int64, n int) {
 			id := acked[rng.Intn(len(acked))]
 			body := fmt.Sprintf(`{"job":%d,"gpu_util":%d,"gpu_mem_mb":%d,"gpu_mem_util":%d}`,
 				id, 10+rng.Intn(80), 1000+rng.Intn(12000), 5+rng.Intn(50))
-			if rec := do(t, srv, http.MethodPost, "/metrics", body); rec.Code != http.StatusOK {
+			if rec := do(t, srv, http.MethodPost, "/metrics", body); rec.Code != http.StatusOK && rec.Code != http.StatusAccepted {
 				t.Fatalf("op %d sample: %d: %s", i, rec.Code, rec.Body)
 			}
 		case roll < 9: // heartbeat — an agent's VC is a stable function of its
@@ -56,7 +60,7 @@ func parityOps(t *testing.T, srv *Server, seed int64, n int) {
 			// stale twin behind until the sweep (a documented non-goal).
 			a := rng.Intn(24)
 			body := fmt.Sprintf(`{"name":"agent-%d","vc":"vc-%d","node":%d}`, a, a%5, a)
-			if rec := do(t, srv, http.MethodPost, "/agents", body); rec.Code != http.StatusOK {
+			if rec := do(t, srv, http.MethodPost, "/agents", body); rec.Code != http.StatusOK && rec.Code != http.StatusAccepted {
 				t.Fatalf("op %d heartbeat: %d: %s", i, rec.Code, rec.Body)
 			}
 		default: // chaos kill
@@ -81,54 +85,90 @@ func get(t *testing.T, s *Server, path string) string {
 	return rec.Body.String()
 }
 
-// TestShardParity is the sharding correctness contract: the identical
-// randomized op sequence pushed through a 1-shard server and an 8-shard
-// server must yield byte-identical observable state — job listings, schedule
-// order, per-tenant views, agent listings and population counts. Job IDs come
-// from the global allocator and estimates from per-shard clones of one fitted
-// model, so nothing may depend on the shard count. The CI race step runs this
-// package under -race.
+// TestShardParity is the sharding AND ingest-mode correctness contract: the
+// identical randomized op sequence pushed through {1,8} shards × {sync,async
+// ingest} must yield byte-identical observable state after a flush barrier —
+// job listings, schedule order, per-tenant views, agent listings and
+// population counts. Job IDs come from the global allocator, estimates from
+// per-shard clones of one fitted model, and async ingest preserves per-shard
+// FIFO apply order with chaos ops barriered behind acknowledged telemetry —
+// so nothing may depend on the shard count or the ingest mode. The CI race
+// step runs this package under -race.
 func TestShardParity(t *testing.T) {
-	build := func(shards int) *Server {
-		s, err := NewServerWith(Options{Shards: shards, EnableChaos: true, Clock: parityClock()})
+	build := func(shards int, async bool) *Server {
+		opts := Options{Shards: shards, EnableChaos: true, Clock: parityClock()}
+		if async {
+			// Large enough that the sequential op stream can never trip
+			// backpressure (parityOps fails on any 429); a small batch keeps
+			// many flush barriers landing mid-batch.
+			opts.IngestQueue = 4096
+			opts.IngestBatch = 32
+		}
+		s, err := NewServerWith(opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return s
 	}
-	single, sharded := build(1), build(8)
-	if single.Shards() != 1 || sharded.Shards() != 8 {
-		t.Fatalf("shard counts = %d, %d", single.Shards(), sharded.Shards())
+	variants := []struct {
+		name   string
+		shards int
+		async  bool
+	}{
+		{"1-sync", 1, false},
+		{"8-sync", 8, false},
+		{"1-async", 1, true},
+		{"8-async", 8, true},
 	}
-	parityOps(t, single, 1234, 400)
-	parityOps(t, sharded, 1234, 400)
+	servers := make([]*Server, len(variants))
+	for i, v := range variants {
+		servers[i] = build(v.shards, v.async)
+		if got := servers[i].Shards(); got != v.shards {
+			t.Fatalf("%s: shard count = %d", v.name, got)
+		}
+		parityOps(t, servers[i], 1234, 400)
+		// The explicit barrier: every acknowledged telemetry op must be
+		// applied before the bodies below are compared.
+		servers[i].Flush()
+	}
 
 	paths := []string{"/jobs", "/schedule", "/agents"}
 	for i := 0; i < 5; i++ {
 		vc := fmt.Sprintf("vc-%d", i)
 		paths = append(paths, "/jobs?vc="+vc, "/schedule?vc="+vc, "/agents?vc="+vc)
 	}
+	ref := servers[0]
 	for _, p := range paths {
-		if a, b := get(t, single, p), get(t, sharded, p); a != b {
-			t.Errorf("GET %s diverges between 1 and 8 shards:\n 1: %s\n 8: %s", p, a, b)
+		want := get(t, ref, p)
+		for i := 1; i < len(servers); i++ {
+			if got := get(t, servers[i], p); got != want {
+				t.Errorf("GET %s diverges between %s and %s:\n %s: %s\n %s: %s",
+					p, variants[0].name, variants[i].name,
+					variants[0].name, want, variants[i].name, got)
+			}
 		}
 	}
 
-	var stA, stB struct {
+	type counts struct {
 		Jobs   int `json:"jobs"`
 		Agents int `json:"agents"`
 	}
-	if err := json.Unmarshal([]byte(get(t, single, "/statusz")), &stA); err != nil {
+	var stRef counts
+	if err := json.Unmarshal([]byte(get(t, ref, "/statusz")), &stRef); err != nil {
 		t.Fatal(err)
 	}
-	if err := json.Unmarshal([]byte(get(t, sharded, "/statusz")), &stB); err != nil {
-		t.Fatal(err)
+	for i := 1; i < len(servers); i++ {
+		var st counts
+		if err := json.Unmarshal([]byte(get(t, servers[i], "/statusz")), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st != stRef {
+			t.Errorf("statusz counts diverge: %s %+v, %s %+v",
+				variants[0].name, stRef, variants[i].name, st)
+		}
 	}
-	if stA != stB {
-		t.Errorf("statusz counts diverge: 1 shard %+v, 8 shards %+v", stA, stB)
-	}
-	if stA.Jobs == 0 || stA.Agents == 0 {
-		t.Errorf("degenerate parity run (no population): %+v", stA)
+	if stRef.Jobs == 0 || stRef.Agents == 0 {
+		t.Errorf("degenerate parity run (no population): %+v", stRef)
 	}
 }
 

@@ -46,7 +46,12 @@ func TestSoakShardedDrainRecover(t *testing.T) {
 	}
 	dir := t.TempDir()
 	const shards = 4
-	srv, err := NewServerWith(Options{Shards: shards, StateDir: dir, CompactEvery: 32})
+	// Async ingest with a deliberately small queue: the soak also exercises
+	// the applier goroutines (batched apply/fsync, barrier handling, drain
+	// on Shutdown) under -race, and lets real 429 backpressure land — which
+	// loadgen must classify as Rejected, never as an error.
+	srv, err := NewServerWith(Options{Shards: shards, StateDir: dir, CompactEvery: 32,
+		IngestQueue: 64, IngestBatch: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -214,6 +214,7 @@ func (sh *shard) openStore(dir string) error {
 func (sh *shard) loadSnapLocked(ss shardSnap) {
 	sh.srv.bumpNextID(ss.NextID - 1)
 	sh.jobs = make(map[int]*jobState, len(ss.Jobs))
+	sh.order = make([]*jobState, 0, len(ss.Jobs))
 	profiled := 0
 	for _, pj := range ss.Jobs {
 		js := &jobState{ID: pj.ID, Name: pj.Name, User: pj.User, VC: pj.VC,
@@ -223,14 +224,33 @@ func (sh *shard) loadSnapLocked(ss shardSnap) {
 		sh.srv.jobShard.Store(js.ID, sh)
 		sh.srv.bumpNextID(js.ID)
 		sh.refreshLocked(js)
+		js.prio = float64(js.GPUs) * js.EstSec
+		sh.order = append(sh.order, js)
 		if js.Samples >= minSamples {
 			profiled++
 		}
 	}
+	// One O(n log n) rebuild at snapshot load; incremental from here on.
+	sort.Slice(sh.order, func(i, j int) bool { return queueLess(sh.order[i], sh.order[j]) })
 	sh.agents = make(map[string]*agentState, len(ss.Agents))
+	sh.aorder = make([]*agentState, 0, len(ss.Agents))
+	sh.lruHead, sh.lruTail = nil, nil
 	for _, pa := range ss.Agents {
-		sh.agents[pa.Name] = &agentState{Name: pa.Name, VC: pa.VC, Node: pa.Node,
+		a := &agentState{Name: pa.Name, VC: pa.VC, Node: pa.Node,
 			LastSeen: time.Unix(0, pa.UnixNano)}
+		a.refreshFrag()
+		sh.agents[pa.Name] = a
+		sh.aorder = append(sh.aorder, a)
+	}
+	sort.Slice(sh.aorder, func(i, j int) bool { return agentLess(sh.aorder[i], sh.aorder[j]) })
+	// Rebuild the heartbeat-order list oldest-first (name as the
+	// deterministic tie-break for equal stamps) so the prefix invariant the
+	// O(evicted) sweep relies on holds from the first post-boot request.
+	byBeat := make([]*agentState, len(sh.aorder))
+	copy(byBeat, sh.aorder)
+	sort.SliceStable(byBeat, func(i, j int) bool { return byBeat[i].LastSeen.Before(byBeat[j].LastSeen) })
+	for _, a := range byBeat {
+		sh.lruPushBackLocked(a)
 	}
 	sh.nJobs.Store(int64(len(sh.jobs)))
 	sh.nProfiled.Store(int64(profiled))
